@@ -1,0 +1,87 @@
+// Command bslc is the compiler driver for the bsl language: it compiles a
+// .b source file to an xout executable image (or, with -S, prints the
+// generated assembly), completing the toolchain for the simulated system.
+//
+//	bslc prog.b            write prog.xout
+//	bslc -S prog.b         print the generated assembly
+//	bslc -run prog.b       compile, boot a system, run, report the exit code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/bsl"
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "print generated assembly instead of an image")
+	runIt := flag.Bool("run", false, "compile and run on a freshly booted system")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bslc [-S|-run] prog.b")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bslc:", err)
+		os.Exit(1)
+	}
+	src := string(data)
+
+	if *emitAsm {
+		asmSrc, err := bsl.Compile(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bslc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(asmSrc)
+		return
+	}
+	img, err := bsl.CompileToImage(src, kernel.Predefs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bslc:", err)
+		os.Exit(1)
+	}
+	if *runIt {
+		s := repro.NewSystem()
+		if err := s.FS.WriteFile("/bin/a.out", img.Marshal(), 0o755, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "bslc:", err)
+			os.Exit(1)
+		}
+		p, err := s.Spawn("/bin/a.out", nil, types.UserCred(100, 10))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bslc:", err)
+			os.Exit(1)
+		}
+		status, err := s.WaitExit(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bslc:", err)
+			os.Exit(1)
+		}
+		if ok, code := kernel.WIfExited(status); ok {
+			fmt.Printf("exit %d\n", code)
+			return
+		}
+		if ok, sig, core := kernel.WIfSignaled(status); ok {
+			suffix := ""
+			if core {
+				suffix = " (core dumped)"
+			}
+			fmt.Printf("killed by %s%s\n", types.SigName(sig), suffix)
+		}
+		return
+	}
+	out := strings.TrimSuffix(path, ".b") + ".xout"
+	if err := os.WriteFile(out, img.Marshal(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bslc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d symbols)\n", out, len(img.Marshal()), len(img.Syms))
+}

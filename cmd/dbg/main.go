@@ -1,0 +1,235 @@
+// Command dbg is a small breakpoint debugger built on /proc, demonstrating
+// the interface the paper designed for: breakpoints planted through
+// copy-on-write address-space writes, fielded as FLTBPT faulted stops,
+// single-stepping via PRSTEP/FLTTRACE, register and memory inspection.
+//
+// It reads commands from standard input (so it can be driven by a script):
+//
+//	b <symbol|hexaddr>   set a breakpoint
+//	d <symbol|hexaddr>   delete a breakpoint
+//	c                    continue to the next stop
+//	s                    single-step one instruction
+//	r                    print registers
+//	x <symbol|hexaddr>   examine a word of memory
+//	l                    list symbols
+//	u [symbol|hexaddr]   disassemble 8 instructions (default: at the PC)
+//	m                    print the memory map
+//	q                    quit (detach and let the target run)
+//
+// Given a file argument, the file is assembled and debugged; otherwise a
+// built-in demonstration program is used.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+const demo = `
+.entry main
+fib:	; r1 = fib(r1), iterative
+	movi r2, 0
+	movi r3, 1
+	cmpi r1, 0
+	je fib_zero
+fib_loop:
+	mov r4, r3
+	add r3, r2
+	mov r2, r4
+	addi r1, -1
+	cmpi r1, 0
+	jne fib_loop
+	mov r1, r2
+	ret
+fib_zero:
+	movi r1, 0
+	ret
+main:
+	movi r1, 10
+	call fib
+	movi r0, SYS_exit
+	syscall
+`
+
+func main() {
+	src := demo
+	name := "demo"
+	isBSL := false
+	if len(os.Args) > 1 {
+		data, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbg:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+		name = "a.out"
+		isBSL = strings.HasSuffix(os.Args[1], ".b")
+	}
+	s := repro.NewSystem()
+	install := s.Install
+	if isBSL {
+		install = s.InstallBSL
+	}
+	if err := install("/bin/"+name, src, 0o755, 0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "dbg:", err)
+		os.Exit(1)
+	}
+	p, err := s.Spawn("/bin/"+name, nil, types.UserCred(100, 10))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbg:", err)
+		os.Exit(1)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbg:", err)
+		os.Exit(1)
+	}
+	// Pick up shared-library symbol tables through PIOCOPENM.
+	d.LoadMappedSymbols()
+	fmt.Printf("debugging %s (pid %d); 'b main' 'c' 'r' 's' 'x <sym>' 'q'\n", name, p.Pid)
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("dbg> ")
+		if !in.Scan() {
+			break
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q":
+			d.Close()
+			if status, err := s.WaitExit(p); err == nil {
+				report(status)
+			}
+			return
+		case "b", "d", "x":
+			if len(fields) < 2 {
+				fmt.Println("usage:", fields[0], "<symbol|hexaddr>")
+				continue
+			}
+			addr, ok := resolve(d, fields[1])
+			if !ok {
+				fmt.Println("no such symbol:", fields[1])
+				continue
+			}
+			switch fields[0] {
+			case "b":
+				if err := d.SetBreak(addr); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("breakpoint at %s (%#x)\n", d.SymAt(addr), addr)
+				}
+			case "d":
+				if err := d.ClearBreak(addr); err != nil {
+					fmt.Println("error:", err)
+				}
+			case "x":
+				w, err := d.ReadWord(addr)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("%#x: %#08x  %s\n", addr, w, vcpu.Disasm(w, addr))
+			}
+		case "c":
+			st, err := d.Cont()
+			if err != nil {
+				if err == kernel.ErrNoProcess || !p.Alive() {
+					report(p.ExitStatus)
+					return
+				}
+				fmt.Println("error:", err)
+				continue
+			}
+			printStop(d, st)
+		case "s":
+			st, err := d.StepInstr()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printStop(d, st)
+		case "r":
+			regs, err := d.Regs()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(regs)
+		case "l":
+			for _, sym := range d.Syms {
+				fmt.Printf("%#08x %s\n", sym.Value, sym.Name)
+			}
+		case "u":
+			// Disassemble 8 instructions from a symbol/address (default PC).
+			var addr uint32
+			if len(fields) > 1 {
+				var ok bool
+				if addr, ok = resolve(d, fields[1]); !ok {
+					fmt.Println("no such symbol:", fields[1])
+					continue
+				}
+			} else {
+				regs, err := d.Regs()
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				addr = regs.PC
+			}
+			for i := 0; i < 8; i++ {
+				a := addr + uint32(4*i)
+				w, err := d.ReadWord(a)
+				if err != nil {
+					break
+				}
+				fmt.Printf("%#08x <%s>:\t%s\n", a, d.SymAt(a), vcpu.Disasm(w, a))
+			}
+		case "m":
+			tools.PrMap(s.Client(types.RootCred()), p.Pid, os.Stdout)
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+	d.Close()
+}
+
+func resolve(d *tools.Debugger, s string) (uint32, bool) {
+	if v, ok := d.Lookup(s); ok {
+		return v, true
+	}
+	if v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32); err == nil {
+		return uint32(v), true
+	}
+	return 0, false
+}
+
+func printStop(d *tools.Debugger, st kernel.ProcStatus) {
+	fmt.Printf("stopped: %v/%d at %s (pc=%#x)\n", st.Why, st.What, d.SymAt(st.Reg.PC), st.Reg.PC)
+}
+
+func report(status int) {
+	if ok, code := kernel.WIfExited(status); ok {
+		fmt.Printf("process exited with status %d\n", code)
+		return
+	}
+	if ok, sig, core := kernel.WIfSignaled(status); ok {
+		suffix := ""
+		if core {
+			suffix = " (core dumped)"
+		}
+		fmt.Printf("process killed by %s%s\n", types.SigName(sig), suffix)
+	}
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"os"
+
+	"repro"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// lsproc prints the listing as the super-user (like ls run by root).
+func lsproc(s *repro.System, names func(uid, gid int) (string, string)) error {
+	return tools.LsProc(s.Client(types.RootCred()), os.Stdout, names)
+}

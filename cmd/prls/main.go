@@ -1,0 +1,54 @@
+// Command prls reproduces the paper's Figure 1: "ls -l /proc" on a freshly
+// booted system populated with a few user processes. The name of each entry
+// is the process id, the owner and group are the real ids, and the size is
+// the total virtual memory size — zero for the system processes 0 and 2.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/types"
+)
+
+func main() {
+	s := repro.NewSystem()
+	// A population like the figure's: root daemons and user programs.
+	progs := []struct {
+		name string
+		uid  int
+		gid  int
+		src  string
+	}{
+		{"cron", 0, 0, "loop:\tmovi r0, SYS_pause\n\tsyscall\n\tjmp loop\n"},
+		{"rrg_sh", 206, 10, "loop:\tjmp loop\n"},
+		{"weather", 370, 10, "loop:\tjmp loop\n.bss\nbuf:\t.space 500000\n"},
+		{"raf_sh", 393, 10, "loop:\tjmp loop\n.bss\nbuf:\t.space 400000\n"},
+	}
+	for _, pr := range progs {
+		if _, err := s.SpawnProg(pr.name, pr.src, types.UserCred(pr.uid, pr.gid)); err != nil {
+			fmt.Fprintf(os.Stderr, "prls: %s: %v\n", pr.name, err)
+			os.Exit(1)
+		}
+	}
+	s.Run(10)
+
+	names := func(uid, gid int) (string, string) {
+		users := map[int]string{0: "root", 206: "rrg", 370: "weath", 393: "raf"}
+		groups := map[int]string{0: "root", 10: "staff"}
+		u, ok := users[uid]
+		if !ok {
+			u = fmt.Sprint(uid)
+		}
+		g, ok := groups[gid]
+		if !ok {
+			g = fmt.Sprint(gid)
+		}
+		return u, g
+	}
+	if err := lsproc(s, names); err != nil {
+		fmt.Fprintln(os.Stderr, "prls:", err)
+		os.Exit(1)
+	}
+}

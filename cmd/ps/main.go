@@ -1,0 +1,46 @@
+// Command ps is the SVR4 ps(1) reimplemented on /proc: read the /proc
+// directory, open each process read-only, issue PIOCPSINFO, print. It runs
+// with super-user privilege, so the opens always succeed and no interference
+// is created for controlling and controlled processes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+func main() {
+	s := repro.NewSystem()
+	// A demonstrative population: runners, sleepers, a stopped process
+	// and a zombie.
+	s.SpawnProg("worker", "loop:\tjmp loop\n", types.UserCred(100, 10))
+	s.SpawnProg("sleeper", `
+	movi r0, SYS_pause
+	syscall
+`, types.UserCred(100, 10))
+	stopped, _ := s.SpawnProg("stopped", "loop:\tjmp loop\n", types.UserCred(200, 20))
+	s.SpawnProg("zombie_parent", `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:	jmp parent
+`, types.UserCred(300, 30))
+	s.Run(50)
+	if stopped != nil {
+		s.K.PostSignal(stopped, types.SIGSTOP)
+	}
+	s.Run(10)
+
+	if err := tools.PS(s.Client(types.RootCred()), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ps:", err)
+		os.Exit(1)
+	}
+}

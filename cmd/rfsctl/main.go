@@ -1,0 +1,153 @@
+// Command rfsctl is the remote process-control client for rfsd: the
+// paper's "inspect, modify and control processes running on any machine in
+// an RFS network", as a command line.
+//
+//	rfsctl [-addr host:port] ps            list remote processes
+//	rfsctl [-addr host:port] status <pid>  remote PIOCSTATUS
+//	rfsctl [-addr host:port] map <pid>     remote PIOCMAP
+//	rfsctl [-addr host:port] cred <pid>    remote PIOCCRED
+//	rfsctl [-addr host:port] usage <pid>   remote PIOCUSAGE
+//	rfsctl [-addr host:port] stop <pid>    remote PIOCSTOP
+//	rfsctl [-addr host:port] run <pid>     remote PIOCRUN
+//	rfsctl [-addr host:port] kill <pid> <signal>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/rfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+func fail(args ...interface{}) {
+	fmt.Fprintln(os.Stderr, append([]interface{}{"rfsctl:"}, args...)...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7909", "rfsd address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fail("usage: rfsctl [-addr host:port] ps|status|map|stop|run|kill ...")
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+	cl := rfs.NewClient(&rfs.ConnTransport{Conn: conn}, types.RootCred())
+
+	cmd := flag.Arg(0)
+	if cmd == "ps" {
+		ents, err := cl.ReadDir("/proc")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%7s %5s %5s %9s %s\n", "PID", "UID", "GID", "VSZ", "COMD")
+		for _, e := range ents {
+			f, err := cl.Open("/proc/"+e.Name, vfs.ORead)
+			if err != nil {
+				continue
+			}
+			var info kernel.PSInfo
+			if err := f.Ioctl(procfs.PIOCPSINFO, &info); err == nil {
+				fmt.Printf("%7d %5d %5d %9d %s [%c]\n",
+					info.Pid, info.UID, info.GID, info.VSize, info.Comm, info.State)
+			}
+			f.Close()
+		}
+		return
+	}
+
+	if flag.NArg() < 2 {
+		fail("missing pid")
+	}
+	pid, err := strconv.Atoi(flag.Arg(1))
+	if err != nil {
+		fail("bad pid:", flag.Arg(1))
+	}
+	flags := vfs.ORead
+	switch cmd {
+	case "status", "map", "cred", "usage":
+	default:
+		flags |= vfs.OWrite
+	}
+	f, err := cl.Open("/proc/"+procfs.PidName(pid), flags)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	switch cmd {
+	case "status":
+		var st kernel.ProcStatus
+		if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+			fail(err)
+		}
+		fmt.Printf("pid %d ppid %d pgrp %d: flags=%#x why=%v what=%d cursig=%d\n",
+			st.Pid, st.PPid, st.Pgrp, st.Flags, st.Why, st.What, st.CurSig)
+		fmt.Printf("pc=%#x sp=%#x vsize=%d lwps=%d utime=%d stime=%d\n",
+			st.Reg.PC, st.Reg.SP, st.VSize, st.NLWP, st.UTime, st.STime)
+	case "map":
+		var maps []procfs.PrMap
+		if err := f.Ioctl(procfs.PIOCMAP, &maps); err != nil {
+			fail(err)
+		}
+		for _, m := range maps {
+			fmt.Printf("%08X %6dK %-10s %s\n", m.Vaddr, (int64(m.Size)+1023)/1024, m.Prot, m.Name)
+		}
+	case "stop":
+		var st kernel.ProcStatus
+		if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+			fail(err)
+		}
+		fmt.Printf("stopped: why=%v pc=%#x\n", st.Why, st.Reg.PC)
+	case "run":
+		if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println("running")
+	case "cred":
+		var cred types.Cred
+		if err := f.Ioctl(procfs.PIOCCRED, &cred); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ruid=%d euid=%d suid=%d rgid=%d egid=%d sgid=%d groups=%v\n",
+			cred.RUID, cred.EUID, cred.SUID, cred.RGID, cred.EGID, cred.SGID, cred.Groups)
+	case "usage":
+		var u procfs.PrUsage
+		if err := f.Ioctl(procfs.PIOCUSAGE, &u); err != nil {
+			fail(err)
+		}
+		fmt.Printf("utime=%d stime=%d syscalls=%d faults=%d signals=%d\n",
+			u.UserTicks, u.SysTicks, u.Syscalls, u.Faults, u.Signals)
+		fmt.Printf("minor=%d cow=%d watch-recover=%d stack-grows=%d vctx=%d ictx=%d\n",
+			u.MinorFaults, u.COWFaults, u.WatchRecover, u.StackGrows, u.VolCtx, u.InvolCtx)
+	case "kill":
+		if flag.NArg() < 3 {
+			fail("usage: kill <pid> <signal>")
+		}
+		sig := types.SigNumber(flag.Arg(2))
+		if sig == 0 {
+			if n, err := strconv.Atoi(flag.Arg(2)); err == nil {
+				sig = n
+			}
+		}
+		if sig == 0 {
+			fail("bad signal:", flag.Arg(2))
+		}
+		if err := f.Ioctl(procfs.PIOCKILL, &sig); err != nil {
+			fail(err)
+		}
+		fmt.Printf("sent %s\n", types.SigName(sig))
+	default:
+		fail("unknown command:", cmd)
+	}
+}

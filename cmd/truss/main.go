@@ -1,0 +1,106 @@
+// Command truss traces the execution of a simulated program, producing a
+// symbolic report of the system calls it executes, the faults it encounters
+// and the signals it receives. With -f it follows the execution of child
+// processes as well. Given a file argument, the file is assembled and run;
+// otherwise a built-in demonstration workload (which forks, does file I/O,
+// and takes a fault) is traced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+const demo = `
+; demonstration workload: file I/O, a fork, and a machine fault
+	movi r0, SYS_getpid
+	syscall
+	movi r0, SYS_creat
+	la r1, path
+	movi r2, 0x1B6		; 0666
+	syscall
+	mov r6, r0
+	movi r0, SYS_write
+	mov r1, r6
+	la r2, msg
+	movi r3, 6
+	syscall
+	movi r0, SYS_close
+	mov r1, r6
+	syscall
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_getuid	; child
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_open	; fails: ENOENT
+	la r1, nopath
+	movi r2, 1
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+path:	.asciz "/tmp/truss.out"
+msg:	.ascii "hello\n"
+nopath:	.asciz "/no/such"
+`
+
+func main() {
+	follow := flag.Bool("f", false, "follow children created by fork/vfork")
+	summary := flag.Bool("c", false, "count calls, faults and signals instead of reporting each")
+	flag.Parse()
+
+	src := demo
+	name := "demo"
+	isBSL := false
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "truss:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+		name = "a.out"
+		isBSL = strings.HasSuffix(flag.Arg(0), ".b")
+	}
+
+	s := repro.NewSystem()
+	install := s.Install
+	if isBSL {
+		install = s.InstallBSL
+	}
+	if err := install("/bin/"+name, src, 0o755, 0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "truss:", err)
+		os.Exit(1)
+	}
+	p, err := s.Spawn("/bin/"+name, nil, types.UserCred(100, 10))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "truss:", err)
+		os.Exit(1)
+	}
+	tr := tools.NewTruss(s, os.Stdout, types.RootCred())
+	tr.FollowForks = *follow
+	tr.Summary = *summary
+	if err := tr.TraceToExit(p, 10_000_000); err != nil {
+		fmt.Fprintln(os.Stderr, "truss:", err)
+		os.Exit(1)
+	}
+	if *summary {
+		tr.WriteSummary(os.Stdout)
+	}
+}

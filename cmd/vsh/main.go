@@ -1,0 +1,368 @@
+// Command vsh is a small job-control shell for the simulated system. It
+// exists to demonstrate the paper's "competing mechanisms" interactively:
+// job-control stop signals (stop/fg/bg) versus /proc stops (pstop/prun),
+// including the rule that a job-control-stopped process is restarted only
+// by SIGCONT while "/proc gets the last word".
+//
+// Commands (reads standard input, so it can be driven by a script):
+//
+//	ls                 list installed programs
+//	run <prog>         start a program in the background
+//	jobs               list jobs and their states
+//	wait %n            wait for a job to exit (or stop)
+//	stop %n            send SIGTSTP (job-control stop)
+//	fg %n              send SIGCONT and wait
+//	bg %n              send SIGCONT and leave it running
+//	kill %n [signal]   send a signal (default SIGTERM)
+//	pstop %n           direct a /proc stop (PIOCSTOP)
+//	prun %n            release a /proc stop (PIOCRUN)
+//	pfiles %n          show a job's open files (via the deprecated PIOCGETU)
+//	ps                 run ps(1)
+//	truss <prog>       run a program under truss
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// The preinstalled demo programs.
+var programs = map[string]string{
+	"counter": `
+loop:	la r3, n
+	ld r4, [r3]
+	addi r4, 1
+	st r4, [r3]
+	movi r0, SYS_sleep
+	movi r1, 20
+	syscall
+	jmp loop
+.data
+n:	.word 0
+`,
+	"spin": `
+loop:	jmp loop
+`,
+	"tenify": `
+	movi r5, 10
+loop:	movi r0, SYS_sleep
+	movi r1, 30
+	syscall
+	addi r5, -1
+	cmpi r5, 0
+	jne loop
+	movi r0, SYS_exit
+	movi r1, 10
+	syscall
+`,
+	"crasher": `
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+`,
+	"hello": `
+	movi r0, SYS_creat
+	la r1, path
+	movi r2, 0x1B6
+	syscall
+	mov r6, r0
+	movi r0, SYS_write
+	mov r1, r6
+	la r2, msg
+	movi r3, 6
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+path:	.asciz "/tmp/hello.out"
+msg:	.ascii "hello\n"
+`,
+}
+
+type job struct {
+	id   int
+	p    *kernel.Proc
+	name string
+}
+
+type shell struct {
+	s      *repro.System
+	jobs   []*job
+	nextID int
+	cred   types.Cred
+}
+
+func main() {
+	sh := &shell{s: repro.NewSystem(), cred: types.UserCred(100, 10)}
+	for name, src := range programs {
+		if err := sh.s.Install("/bin/"+name, src, 0o755, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "vsh:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("vsh: simulated-system shell; 'ls' lists programs, 'quit' exits")
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("vsh$ ")
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return
+		}
+		sh.dispatch(fields)
+	}
+}
+
+func (sh *shell) dispatch(fields []string) {
+	switch fields[0] {
+	case "ls":
+		ents, err := sh.s.Client(sh.cred).ReadDir("/bin")
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		for _, e := range ents {
+			fmt.Println(e.Name)
+		}
+	case "run":
+		if len(fields) < 2 {
+			fmt.Println("usage: run <prog>")
+			return
+		}
+		sh.run(fields[1])
+	case "jobs":
+		sh.reap()
+		for _, j := range sh.jobs {
+			fmt.Printf("[%d] pid %d %-10s %s\n", j.id, j.p.Pid, j.name, jobState(j.p))
+		}
+	case "wait", "fg", "bg", "stop", "kill", "pstop", "prun", "pfiles":
+		if len(fields) < 2 {
+			fmt.Printf("usage: %s %%n\n", fields[0])
+			return
+		}
+		j := sh.lookup(fields[1])
+		if j == nil {
+			fmt.Println("vsh: no such job")
+			return
+		}
+		sh.control(fields[0], j, fields[2:])
+	case "ps":
+		tools.PS(sh.s.Client(types.RootCred()), os.Stdout)
+	case "truss":
+		if len(fields) < 2 {
+			fmt.Println("usage: truss <prog>")
+			return
+		}
+		p, err := sh.s.Spawn("/bin/"+fields[1], nil, sh.cred)
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		tr := tools.NewTruss(sh.s, os.Stdout, types.RootCred())
+		if err := tr.TraceToExit(p, 10_000_000); err != nil {
+			fmt.Println("vsh: truss:", err)
+		}
+	default:
+		fmt.Println("vsh: unknown command:", fields[0])
+	}
+}
+
+func (sh *shell) run(name string) {
+	p, err := sh.s.Spawn("/bin/"+name, nil, sh.cred)
+	if err != nil {
+		fmt.Println("vsh:", err)
+		return
+	}
+	sh.nextID++
+	j := &job{id: sh.nextID, p: p, name: name}
+	sh.jobs = append(sh.jobs, j)
+	fmt.Printf("[%d] pid %d\n", j.id, p.Pid)
+	sh.s.Run(5)
+}
+
+func (sh *shell) lookup(ref string) *job {
+	ref = strings.TrimPrefix(ref, "%")
+	n, err := strconv.Atoi(ref)
+	if err != nil {
+		return nil
+	}
+	for _, j := range sh.jobs {
+		if j.id == n {
+			return j
+		}
+	}
+	return nil
+}
+
+func (sh *shell) control(cmd string, j *job, rest []string) {
+	p := j.p
+	switch cmd {
+	case "wait", "fg":
+		if cmd == "fg" {
+			sh.s.K.PostSignal(p, types.SIGCONT)
+		}
+		err := sh.s.RunUntil(func() bool {
+			return !p.Alive() || stoppedByJobControl(p)
+		}, 10_000_000)
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		if !p.Alive() {
+			sh.report(j)
+		} else {
+			fmt.Printf("[%d] stopped\n", j.id)
+		}
+	case "bg":
+		sh.s.K.PostSignal(p, types.SIGCONT)
+		sh.s.Run(5)
+		fmt.Printf("[%d] continued\n", j.id)
+	case "stop":
+		sh.s.K.PostSignal(p, types.SIGTSTP)
+		sh.s.Run(10)
+		fmt.Printf("[%d] %s\n", j.id, jobState(p))
+	case "kill":
+		sig := types.SIGTERM
+		if len(rest) > 0 {
+			if n := types.SigNumber(rest[0]); n != 0 {
+				sig = n
+			} else if n, err := strconv.Atoi(rest[0]); err == nil {
+				sig = n
+			}
+		}
+		sh.s.K.PostSignal(p, sig)
+		sh.s.Run(10)
+		sh.reap()
+	case "pstop":
+		f, err := sh.s.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		defer f.Close()
+		var st kernel.ProcStatus
+		if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		fmt.Printf("[%d] /proc stop: why=%v pc=%#x\n", j.id, st.Why, st.Reg.PC)
+	case "prun":
+		f, err := sh.s.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		defer f.Close()
+		if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		fmt.Printf("[%d] running\n", j.id)
+	case "pfiles":
+		f, err := sh.s.OpenProc(p.Pid, vfs.ORead, types.RootCred())
+		if err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		defer f.Close()
+		var u procfs.UArea
+		if err := f.Ioctl(procfs.PIOCGETU, &u); err != nil {
+			fmt.Println("vsh:", err)
+			return
+		}
+		fmt.Printf("[%d] cwd=%s umask=%03o\n", j.id, u.CWD, u.Umask)
+		for _, fd := range u.FDs {
+			of := p.FD(fd)
+			if of == nil {
+				continue
+			}
+			attr, err := of.VN.VAttr()
+			if err != nil {
+				continue
+			}
+			kind := "file"
+			switch attr.Type {
+			case vfs.VDIR:
+				kind = "dir"
+			case vfs.VFIFO:
+				kind = "pipe"
+			case vfs.VPROC:
+				kind = "proc"
+			}
+			fmt.Printf("  fd %2d: %-4s mode %s size %d\n", fd, kind, vfs.FmtMode(attr.Mode), attr.Size)
+		}
+	}
+}
+
+// reap reports and drops exited jobs.
+func (sh *shell) reap() {
+	kept := sh.jobs[:0]
+	for _, j := range sh.jobs {
+		if !j.p.Alive() {
+			sh.report(j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	sh.jobs = kept
+}
+
+func (sh *shell) report(j *job) {
+	status := j.p.ExitStatus
+	if ok, code := kernel.WIfExited(status); ok {
+		fmt.Printf("[%d] exited %d\n", j.id, code)
+		return
+	}
+	if ok, sig, core := kernel.WIfSignaled(status); ok {
+		suffix := ""
+		if core {
+			suffix = " (core dumped)"
+		}
+		fmt.Printf("[%d] killed by %s%s\n", j.id, types.SigName(sig), suffix)
+	}
+}
+
+func jobState(p *kernel.Proc) string {
+	if !p.Alive() {
+		return "done"
+	}
+	l := p.Rep()
+	if l == nil {
+		return "?"
+	}
+	switch {
+	case l.StoppedOnEvent():
+		return "stopped (/proc)"
+	case l.Stopped():
+		return "stopped (job control)"
+	case l.Asleep():
+		return "sleeping"
+	}
+	return "running"
+}
+
+func stoppedByJobControl(p *kernel.Proc) bool {
+	l := p.Rep()
+	if l == nil {
+		return false
+	}
+	why, _ := l.Why()
+	return l.Stopped() && why == kernel.WhyJobControl
+}

@@ -1,0 +1,79 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Boot a system, run a program, and stop it on demand through /proc.
+func ExampleNewSystem() {
+	sys := repro.NewSystem()
+	sys.Install("/bin/spin", "loop:\tjmp loop\n", 0o755, 100, 10)
+	p, _ := sys.Spawn("/bin/spin", nil, types.UserCred(100, 10))
+
+	f, _ := sys.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	defer f.Close()
+	var st kernel.ProcStatus
+	f.Ioctl(procfs.PIOCSTOP, &st)
+	fmt.Println("stopped:", st.Why)
+	// Output: stopped: requested
+}
+
+// Trace a system call's entry, change its argument, and watch the result.
+func ExampleSystem_OpenProc() {
+	sys := repro.NewSystem()
+	p, _ := sys.SpawnProg("doomed", `
+	movi r0, SYS_exit
+	movi r1, 1
+	syscall
+`, types.UserCred(100, 10))
+
+	f, _ := sys.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	defer f.Close()
+	var entry types.SysSet
+	entry.Add(kernel.SysExit)
+	f.Ioctl(procfs.PIOCSENTRY, &entry)
+
+	var st kernel.ProcStatus
+	f.Ioctl(procfs.PIOCWSTOP, &st)
+	// The stop happens before the kernel fetched the arguments: rewrite
+	// the exit code.
+	st.Reg.R[1] = 7
+	f.Ioctl(procfs.PIOCSREG, &st.Reg)
+	f.Ioctl(procfs.PIOCRUN, nil)
+
+	status, _ := sys.WaitExit(p)
+	_, code := kernel.WIfExited(status)
+	fmt.Println("exit code:", code)
+	// Output: exit code: 7
+}
+
+// Read a process's memory by seeking to a virtual address.
+func ExampleSystem_Client() {
+	sys := repro.NewSystem()
+	p, _ := sys.SpawnProg("greeter", `
+loop:	jmp loop
+.data
+msg:	.asciz "paper reproduced"
+`, types.UserCred(100, 10))
+	sys.Run(2)
+
+	f, _ := sys.OpenProc(p.Pid, vfs.ORead, types.RootCred())
+	defer f.Close()
+	syms, _ := p.ImageSyms()
+	var msg uint32
+	for _, s := range syms {
+		if s.Name == "msg" {
+			msg = s.Value
+		}
+	}
+	buf := make([]byte, 16)
+	f.Pread(buf, int64(msg))
+	fmt.Println(string(buf))
+	// Output: paper reproduced
+}

@@ -1,0 +1,116 @@
+// Compiled example: a program written in the bsl language is compiled for
+// the simulated machine, traced with truss, and debugged by function name —
+// the compiler's symbol table flows into the executable, the debugger picks
+// it up from the process, and breakpoints land on source-level functions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+const program = `
+// Count primes below 50, logging progress to a file.
+var logpath = "/tmp/primes.log";
+var found[20];
+
+func isPrime(n) {
+    if (n < 2) { return 0; }
+    var d = 2;
+    while (d * d <= n) {
+        if (n % d == 0) { return 0; }
+        d = d + 1;
+    }
+    return 1;
+}
+
+func main() {
+    var fd = sys(8, logpath, 438);   // creat
+    var n = 2;
+    var count = 0;
+    while (n < 50) {
+        if (isPrime(n)) {
+            found[count] = n;
+            count = count + 1;
+            sys(4, fd, logpath, 1);  // a byte of "progress" per prime
+        }
+        n = n + 1;
+    }
+    sys(6, fd);                      // close
+    return count;                    // 15 primes below 50
+}
+`
+
+func main() {
+	s := repro.NewSystem()
+	if err := s.InstallBSL("/bin/primes", program, 0o755, 0, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// First: truss it in summary mode.
+	p, err := s.Spawn("/bin/primes", nil, types.UserCred(100, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := tools.NewTruss(s, nil, types.RootCred())
+	tr.Summary = true
+	if err := tr.TraceToExit(p, 10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== truss -c of the compiled program ==")
+	tr.WriteSummary(os.Stdout)
+	if ok, count := kernel.WIfExited(p.ExitStatus); ok {
+		fmt.Printf("first run exited with %d primes\n\n", count)
+	}
+
+	// Second: debug a fresh run by source-level function name.
+	p2, err := s.Spawn("/bin/primes", nil, types.UserCred(100, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p2, types.RootCred())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, ok := d.Lookup("isPrime")
+	if !ok {
+		log.Fatal("no isPrime symbol — the compiler should have emitted it")
+	}
+	if err := d.SetBreak(fn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== breaking on isPrime(n); n is the argument on the stack ==")
+	for hit := 0; hit < 5; hit++ {
+		st, err := d.Cont()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// At function entry the argument was pushed just above the return
+		// address: [sp+4].
+		arg, err := d.ReadMem(st.Reg.SP+4, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := uint32(arg[0])<<24 | uint32(arg[1])<<16 | uint32(arg[2])<<8 | uint32(arg[3])
+		fmt.Printf("hit %d: %s(n=%d)\n", hit+1, d.SymAt(st.Reg.PC), n)
+	}
+	if err := d.ClearBreak(fn); err != nil {
+		log.Fatal(err)
+	}
+	d.Close()
+	status, err := s.WaitExit(p2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, count := kernel.WIfExited(status)
+	fmt.Printf("\nsecond run completed normally: %d primes below 50\n", count)
+	if count != 15 {
+		log.Fatalf("expected 15 primes, got %d", count)
+	}
+}

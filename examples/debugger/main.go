@@ -1,0 +1,111 @@
+// Debugger example: the sophisticated-debugger workflow the /proc interface
+// was designed to support. A buggy accumulator program is debugged by
+// planting a breakpoint (a copy-on-write write of the breakpoint instruction
+// into read/exec text), hitting it repeatedly (FLTBPT faulted stops —
+// breakpoint debugging relieved of the ambiguities of signals), watching a
+// variable evolve, and finally patching the bug in place.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// The program sums 1..5 but the "bug" multiplies by 2 at the end.
+const prog = `
+.entry main
+accumulate:
+	la r3, total
+	ld r4, [r3]
+	add r4, r2
+	st r4, [r3]
+	ret
+main:
+	movi r2, 1
+loop:	call accumulate
+	addi r2, 1
+	cmpi r2, 6
+	jne loop
+	la r3, total
+	ld r1, [r3]
+	movi r4, 2		; the bug: doubles the result
+	mul r1, r4
+	movi r0, SYS_exit
+	syscall
+.data
+total:	.word 0
+`
+
+func main() {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("buggy", prog, types.UserCred(100, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fn, _ := d.Lookup("accumulate")
+	total, _ := d.Lookup("total")
+	if err := d.SetBreak(fn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breakpoint planted at accumulate (%#x) — the write went through\n", fn)
+	fmt.Println("copy-on-write, so the executable file and any other process running")
+	fmt.Println("it are untouched.")
+
+	for hit := 1; ; hit++ {
+		st, err := d.Cont()
+		if err != nil {
+			break
+		}
+		if st.Why != kernel.WhyFaulted {
+			log.Fatalf("unexpected stop %v", st.Why)
+		}
+		mem, _ := d.ReadMem(total, 4)
+		fmt.Printf("hit %d: pc=%s r2=%d total=%d\n",
+			hit, d.SymAt(st.Reg.PC), st.Reg.R[2], binary.BigEndian.Uint32(mem))
+		if hit == 5 {
+			// Last pass: patch the bug by rewriting the multiplier in the
+			// target's data... it is an immediate in text, so patch the
+			// instruction: mul r1, r4 -> nop. Find it two instructions
+			// after the ld at main's tail via the symbol table.
+			fmt.Println("patching the bug: replacing the stray mul with a nop")
+			// Locate the mul by scanning text after 'main'.
+			mainAddr, _ := d.Lookup("main")
+			for addr := mainAddr; addr < mainAddr+0x80; addr += 4 {
+				w, err := d.ReadWord(addr)
+				if err != nil {
+					break
+				}
+				if w>>24 == 0x07 { // OpMUL
+					if err := d.WriteWord(addr, 0x26<<24); err != nil { // OpNOP
+						log.Fatal(err)
+					}
+					fmt.Printf("patched %#x\n", addr)
+				}
+			}
+			if err := d.ClearBreak(fn); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, code := kernel.WIfExited(status)
+	fmt.Printf("program exited with %d (the unpatched program would print 30)\n", code)
+	if code != 15 {
+		log.Fatalf("expected the patched sum 15, got %d", code)
+	}
+}

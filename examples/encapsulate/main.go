@@ -1,0 +1,109 @@
+// Encapsulation example: complete encapsulation of the system call
+// execution environment. The paper: a stop on entry occurs before the
+// system has fetched the arguments, a stop on exit after the return values
+// are stored; a process stopped on entry can be directed to abort the call
+// and go directly to exit. "This combination of facilities enables complete
+// encapsulation ... so that, for example, older system calls or alternate
+// versions of them can be simulated entirely at user level" — obsolete
+// facilities supported forever without cluttering up the operating system.
+//
+// Here the controlling process simulates an "obsolete" system call: the
+// target invokes syscall number 150, which the kernel does not implement
+// (ENOSYS); the controller intercepts every entry, aborts the kernel's
+// processing, and manufactures the results of the legacy call.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+	"repro/internal/vfs"
+)
+
+// The legacy call: "oldgetstamp(n)" returns 1000+n, supposedly a kernel
+// stamp counter that was removed decades ago.
+const legacyNum = 150
+
+const prog = `
+	movi r6, 0		; accumulated stamps
+	movi r7, 1		; argument
+again:
+	movi r0, 150		; the obsolete system call
+	mov r1, r7
+	syscall
+	add r6, r0		; accumulate its result
+	addi r7, 1
+	cmpi r7, 4
+	jne again
+	mov r1, r6		; exit with the sum: (1001+1002+1003) & 0xFF
+	movi r0, SYS_exit
+	syscall
+`
+
+func main() {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("legacy", prog, types.UserCred(100, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := s.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Trace entry and exit of the obsolete call only.
+	var set types.SysSet
+	set.Add(legacyNum)
+	if err := f.Ioctl(procfs.PIOCSENTRY, &set); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCSEXIT, &set); err != nil {
+		log.Fatal(err)
+	}
+
+	for {
+		var st kernel.ProcStatus
+		if err := f.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+			break // the target exited
+		}
+		switch st.Why {
+		case kernel.WhySysEntry:
+			arg := st.SysArgs[0]
+			fmt.Printf("entry:  oldgetstamp(%d) intercepted — aborting kernel processing\n", arg)
+			run := kernel.RunFlags{Abort: true}
+			if err := f.Ioctl(procfs.PIOCRUN, &run); err != nil {
+				log.Fatal(err)
+			}
+		case kernel.WhySysExit:
+			// The aborted call stored EINTR; manufacture the legacy result.
+			arg := st.SysArgs[0]
+			result := 1000 + arg
+			st.Reg.R[0] = result
+			st.Reg.PSW &^= uint32(vcpu.FlagC) // success, not error
+			if err := f.Ioctl(procfs.PIOCSREG, &st.Reg); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("exit:   manufactured return value %d\n", result)
+			if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, code := kernel.WIfExited(status)
+	want := (1001 + 1002 + 1003) & 0xFF
+	fmt.Printf("target exited with %d (expected %d): the obsolete call was\n", code, want)
+	fmt.Println("simulated entirely at user level, without the kernel knowing it.")
+	if code != want {
+		log.Fatal("encapsulation failed")
+	}
+}

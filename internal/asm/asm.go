@@ -1,0 +1,626 @@
+// Package asm is a two-pass assembler for the vcpu instruction set, emitting
+// xout executable images. It exists so that the repository's tests, examples
+// and benchmarks can express realistic user programs — the programs that
+// /proc controls — as readable source rather than hand-encoded words.
+//
+// Syntax overview:
+//
+//	; comment             # comment
+//	.text                 switch to the text section (default)
+//	.data                 switch to the data section
+//	.bss                  switch to the bss section (only .space/.align)
+//	.entry label          set the entry point (default: start of text)
+//	.lib "name"           request a shared library mapping at exec time
+//	.equ name, expr       define an assembly-time constant
+//	.word e1, e2, ...     emit 32-bit words (no auto-alignment; see .align)
+//	.byte e1, e2, ...     emit bytes
+//	.ascii "str"          emit string bytes
+//	.asciz "str"          emit string bytes plus a NUL
+//	.space n              reserve n zero bytes
+//	.align n              align the location counter to n bytes
+//	label:                define a label (all labels become symbols)
+//	op operands           one machine instruction
+//	li  rX, expr          pseudo: load 32-bit constant (movi+movhi)
+//	la  rX, label         pseudo: load address (movi+movhi)
+//
+// Operands: registers r0..r7; immediates are decimal, 0x-hex, 'c' character
+// constants, or symbol±offset expressions. Memory operands are [rB], [rB+n],
+// [rB-n]. Jump/call targets are labels or absolute expressions; the
+// assembler converts them to pc-relative offsets.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vcpu"
+	"repro/internal/xout"
+)
+
+// Options configures assembly.
+type Options struct {
+	// Predef seeds the symbol table, e.g. with SYS_* system call numbers
+	// and SIG* signal numbers exported by the kernel.
+	Predef map[string]uint32
+}
+
+// Error is an assembly error tagged with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+	secBSS
+)
+
+type item struct {
+	line    int
+	sec     section
+	off     uint32 // offset within section
+	op      int    // >= 0: instruction; -1: data directive
+	args    []string
+	pseudo  string // "li", "la" or ""
+	dir     string // data directive name
+	raw     []byte // pre-encoded bytes for .ascii etc.
+	exprs   []string
+	size    uint32
+	isAlign bool
+	alignTo uint32
+}
+
+type assembler struct {
+	opts     Options
+	syms     map[string]uint32 // resolved symbol values (addresses/constants)
+	symSec   map[string]section
+	symOff   map[string]uint32
+	equs     map[string]string // unresolved .equ expressions
+	items    []item
+	lc       [3]uint32 // location counters per section
+	entry    string
+	entrySet bool
+	libs     []string
+	labels   []string // definition order, for the symbol table
+}
+
+// Assemble assembles source into an executable image.
+func Assemble(src string, opts *Options) (*xout.File, error) {
+	a := &assembler{
+		syms:   make(map[string]uint32),
+		symSec: make(map[string]section),
+		symOff: make(map[string]uint32),
+		equs:   make(map[string]string),
+	}
+	if opts != nil {
+		a.opts = *opts
+	}
+	for k, v := range a.opts.Predef {
+		a.syms[k] = v
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble assembles or panics; for tests and examples with fixed source.
+func MustAssemble(src string, opts *Options) *xout.File {
+	f, err := Assemble(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func splitComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func (a *assembler) pass1(src string) error {
+	sec := secText
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(splitComment(raw))
+		lineNo := ln + 1
+		for line != "" {
+			// Labels (possibly several on one line).
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				name := strings.TrimSpace(line[:i])
+				if _, dup := a.symSec[name]; dup {
+					return a.errf(lineNo, "duplicate label %q", name)
+				}
+				if _, dup := a.syms[name]; dup {
+					return a.errf(lineNo, "label %q collides with a predefined symbol", name)
+				}
+				a.symSec[name] = sec
+				a.symOff[name] = a.lc[sec]
+				a.labels = append(a.labels, name)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+		rest := ""
+		if len(fields) > 1 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		switch {
+		case mnemonic == ".text":
+			sec = secText
+		case mnemonic == ".data":
+			sec = secData
+		case mnemonic == ".bss":
+			sec = secBSS
+		case mnemonic == ".entry":
+			a.entry = rest
+			a.entrySet = true
+		case mnemonic == ".lib":
+			name, err := parseString(rest)
+			if err != nil {
+				return a.errf(lineNo, "bad .lib: %v", err)
+			}
+			a.libs = append(a.libs, name)
+		case mnemonic == ".equ":
+			parts := strings.SplitN(rest, ",", 2)
+			if len(parts) != 2 || !isIdent(strings.TrimSpace(parts[0])) {
+				return a.errf(lineNo, "bad .equ")
+			}
+			a.equs[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+		case mnemonic == ".word", mnemonic == ".byte":
+			if sec == secBSS {
+				return a.errf(lineNo, "%s not allowed in .bss", mnemonic)
+			}
+			exprs := splitArgs(rest)
+			unit := uint32(4)
+			if mnemonic == ".byte" {
+				unit = 1
+			}
+			// .word does not auto-align: a label immediately before it must
+			// name the datum. Use .align 4 explicitly when needed; word
+			// loads of unaligned data fault, like the hardware says.
+			it := item{line: lineNo, sec: sec, off: a.lc[sec], op: -1, dir: mnemonic, exprs: exprs}
+			it.size = unit * uint32(len(exprs))
+			a.items = append(a.items, it)
+			a.lc[sec] += it.size
+		case mnemonic == ".ascii", mnemonic == ".asciz":
+			if sec == secBSS {
+				return a.errf(lineNo, "%s not allowed in .bss", mnemonic)
+			}
+			s, err := parseString(rest)
+			if err != nil {
+				return a.errf(lineNo, "bad %s: %v", mnemonic, err)
+			}
+			b := []byte(s)
+			if mnemonic == ".asciz" {
+				b = append(b, 0)
+			}
+			it := item{line: lineNo, sec: sec, off: a.lc[sec], op: -1, dir: mnemonic, raw: b, size: uint32(len(b))}
+			a.items = append(a.items, it)
+			a.lc[sec] += it.size
+		case mnemonic == ".space":
+			n, err := strconv.ParseUint(rest, 0, 32)
+			if err != nil {
+				return a.errf(lineNo, "bad .space %q", rest)
+			}
+			it := item{line: lineNo, sec: sec, off: a.lc[sec], op: -1, dir: ".space", size: uint32(n)}
+			a.items = append(a.items, it)
+			a.lc[sec] += it.size
+		case mnemonic == ".align":
+			n, err := strconv.ParseUint(rest, 0, 32)
+			if err != nil || n == 0 || n&(n-1) != 0 {
+				return a.errf(lineNo, "bad .align %q", rest)
+			}
+			old := a.lc[sec]
+			a.lc[sec] = (old + uint32(n) - 1) &^ (uint32(n) - 1)
+			it := item{line: lineNo, sec: sec, off: old, op: -1, dir: ".align", size: a.lc[sec] - old, isAlign: true, alignTo: uint32(n)}
+			a.items = append(a.items, it)
+		case mnemonic == ".global":
+			// All labels are exported; accepted for familiarity.
+		case mnemonic == "li", mnemonic == "la":
+			if sec != secText {
+				return a.errf(lineNo, "instruction outside .text")
+			}
+			it := item{line: lineNo, sec: sec, off: a.lc[sec], op: -2, pseudo: mnemonic, args: splitArgs(rest), size: 8}
+			a.items = append(a.items, it)
+			a.lc[sec] += 8
+		default:
+			op := vcpu.OpByName(mnemonic)
+			if op < 0 {
+				return a.errf(lineNo, "unknown mnemonic %q", mnemonic)
+			}
+			if sec != secText {
+				return a.errf(lineNo, "instruction outside .text")
+			}
+			it := item{line: lineNo, sec: sec, off: a.lc[sec], op: op, args: splitArgs(rest), size: 4}
+			a.items = append(a.items, it)
+			a.lc[sec] += 4
+		}
+	}
+	return nil
+}
+
+// secBase returns the load address of each section.
+func (a *assembler) secBase(textLen, dataLen uint32) [3]uint32 {
+	f := xout.File{Text: make([]byte, textLen), Data: make([]byte, dataLen)}
+	return [3]uint32{xout.TextBase, f.DataBase(), f.BSSBase()}
+}
+
+func (a *assembler) pass2() (*xout.File, error) {
+	bases := a.secBase(a.lc[secText], a.lc[secData])
+	// Resolve label addresses.
+	for name, sec := range a.symSec {
+		a.syms[name] = bases[sec] + a.symOff[name]
+	}
+	// Resolve .equ constants (may reference labels and other equs).
+	for i := 0; i < len(a.equs)+1; i++ {
+		progress := false
+		for name, expr := range a.equs {
+			v, err := a.eval(expr)
+			if err == nil {
+				a.syms[name] = v
+				delete(a.equs, name)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for name := range a.equs {
+		return nil, fmt.Errorf("asm: unresolvable .equ %q", name)
+	}
+
+	text := make([]byte, a.lc[secText])
+	data := make([]byte, a.lc[secData])
+	bufFor := func(sec section) []byte {
+		if sec == secText {
+			return text
+		}
+		return data
+	}
+	for _, it := range a.items {
+		switch {
+		case it.op >= 0:
+			w, err := a.encodeInstr(it, bases)
+			if err != nil {
+				return nil, err
+			}
+			putWord(text, it.off, w)
+		case it.op == -2: // li / la
+			if len(it.args) != 2 {
+				return nil, a.errf(it.line, "%s needs 2 operands", it.pseudo)
+			}
+			ra, err := parseReg(it.args[0])
+			if err != nil {
+				return nil, a.errf(it.line, "%v", err)
+			}
+			v, err := a.eval(it.args[1])
+			if err != nil {
+				return nil, a.errf(it.line, "%v", err)
+			}
+			putWord(text, it.off, vcpu.Encode(vcpu.OpMOVI, ra, 0, uint16(v)))
+			putWord(text, it.off+4, vcpu.Encode(vcpu.OpMOVHI, ra, 0, uint16(v>>16)))
+		case it.dir == ".word":
+			for i, e := range it.exprs {
+				v, err := a.eval(e)
+				if err != nil {
+					return nil, a.errf(it.line, "%v", err)
+				}
+				putWord(bufFor(it.sec), it.off+uint32(4*i), v)
+			}
+		case it.dir == ".byte":
+			for i, e := range it.exprs {
+				v, err := a.eval(e)
+				if err != nil {
+					return nil, a.errf(it.line, "%v", err)
+				}
+				bufFor(it.sec)[it.off+uint32(i)] = byte(v)
+			}
+		case it.raw != nil:
+			copy(bufFor(it.sec)[it.off:], it.raw)
+		}
+	}
+
+	f := &xout.File{Text: text, Data: data, BSSSize: a.lc[secBSS], Libs: a.libs}
+	if a.entrySet {
+		v, err := a.eval(a.entry)
+		if err != nil {
+			return nil, fmt.Errorf("asm: bad .entry: %v", err)
+		}
+		f.Entry = v
+	} else {
+		f.Entry = xout.TextBase
+	}
+	for _, name := range a.labels {
+		f.Syms = append(f.Syms, xout.Sym{Name: name, Value: a.syms[name]})
+	}
+	return f, nil
+}
+
+func putWord(buf []byte, off, v uint32) {
+	buf[off] = byte(v >> 24)
+	buf[off+1] = byte(v >> 16)
+	buf[off+2] = byte(v >> 8)
+	buf[off+3] = byte(v)
+}
+
+func (a *assembler) encodeInstr(it item, bases [3]uint32) (uint32, error) {
+	format := vcpu.OpFormat(it.op)
+	addr := bases[secText] + it.off
+	want := map[string]int{"": 0, "a": 1, "b": 1, "ab": 2, "ai": 2, "i": 1, "am": 2}[format]
+	if len(it.args) != want {
+		return 0, a.errf(it.line, "%s takes %d operand(s), got %d", vcpu.OpName(it.op), want, len(it.args))
+	}
+	var ra, rb int
+	var imm uint16
+	var err error
+	switch format {
+	case "":
+	case "a":
+		if ra, err = parseReg(it.args[0]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+	case "b":
+		if rb, err = parseReg(it.args[0]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+	case "ab":
+		if ra, err = parseReg(it.args[0]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+		if rb, err = parseReg(it.args[1]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+	case "ai":
+		if ra, err = parseReg(it.args[0]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+		v, err := a.eval(it.args[1])
+		if err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+		if it.op == vcpu.OpMOVI || it.op == vcpu.OpMOVHI || it.op == vcpu.OpSHL || it.op == vcpu.OpSHR {
+			// These zero-extend: a negative immediate would silently load
+			// the wrong value, so require li for anything outside 0..FFFF.
+			if v > 0xFFFF {
+				return 0, a.errf(it.line, "immediate %#x out of unsigned 16-bit range (use li)", v)
+			}
+		} else if int32(v) > 32767 || int32(v) < -32768 {
+			return 0, a.errf(it.line, "immediate %d out of signed 16-bit range", int32(v))
+		}
+		imm = uint16(v)
+	case "i":
+		v, err := a.eval(it.args[0])
+		if err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+		rel := int64(v) - int64(addr) - vcpu.InstrSize
+		if rel > 32767 || rel < -32768 {
+			return 0, a.errf(it.line, "branch target %#x out of range", v)
+		}
+		imm = uint16(int16(rel))
+	case "am":
+		if ra, err = parseReg(it.args[0]); err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+		rb, imm, err = a.parseMem(it.args[1])
+		if err != nil {
+			return 0, a.errf(it.line, "%v", err)
+		}
+	}
+	return vcpu.Encode(it.op, ra, rb, imm), nil
+}
+
+func (a *assembler) parseMem(s string) (rb int, imm uint16, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// [rB], [rB+expr], [rB-expr]
+	sep := -1
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			sep = i
+			break
+		}
+	}
+	regPart, offPart := inner, ""
+	if sep >= 0 {
+		regPart = strings.TrimSpace(inner[:sep])
+		offPart = strings.TrimSpace(inner[sep:])
+	}
+	rb, err = parseReg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offPart != "" {
+		neg := offPart[0] == '-'
+		v, err := a.eval(strings.TrimSpace(offPart[1:]))
+		if err != nil {
+			return 0, 0, err
+		}
+		iv := int64(v)
+		if neg {
+			iv = -iv
+		}
+		if iv > 32767 || iv < -32768 {
+			return 0, 0, fmt.Errorf("offset %d out of range", iv)
+		}
+		imm = uint16(int16(iv))
+	}
+	return rb, imm, nil
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] <= '7' {
+		return int(s[1] - '0'), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// eval evaluates an expression: number | 'c' | symbol, optionally ±number.
+func (a *assembler) eval(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	// Character constant.
+	if len(s) >= 3 && s[0] == '\'' {
+		body := s[1:]
+		end := strings.LastIndexByte(body, '\'')
+		if end < 0 {
+			return 0, fmt.Errorf("bad character constant %s", s)
+		}
+		ch, err := unescapeChar(body[:end])
+		if err != nil {
+			return 0, err
+		}
+		return uint32(ch), nil
+	}
+	// symbol±offset
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			base, err := a.eval(s[:i])
+			if err != nil {
+				return 0, err
+			}
+			off, err := a.eval(s[i+1:])
+			if err != nil {
+				return 0, err
+			}
+			if s[i] == '+' {
+				return base + off, nil
+			}
+			return base - off, nil
+		}
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return uint32(v), nil
+	}
+	if v, ok := a.syms[s]; ok {
+		return v, nil
+	}
+	// Note: .equ expressions are resolved iteratively in pass2, so an
+	// unresolved equ here is simply "not yet defined" — or circular.
+	return 0, fmt.Errorf("undefined symbol %q", s)
+}
+
+func unescapeChar(s string) (byte, error) {
+	switch s {
+	case "\\n":
+		return '\n', nil
+	case "\\t":
+		return '\t', nil
+	case "\\0":
+		return 0, nil
+	case "\\\\":
+		return '\\', nil
+	case "\\'":
+		return '\'', nil
+	}
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	return 0, fmt.Errorf("bad character constant %q", s)
+}
+
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '0':
+				b.WriteByte(0)
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return "", fmt.Errorf("bad escape \\%c", body[i])
+			}
+			continue
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

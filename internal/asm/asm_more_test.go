@@ -1,0 +1,129 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/vcpu"
+)
+
+func TestMoviRejectsNegative(t *testing.T) {
+	// movi zero-extends, so negative immediates would load the wrong
+	// value; the assembler forces li for them.
+	if _, err := Assemble("movi r1, -1", nil); err == nil {
+		t.Fatal("negative movi should be rejected")
+	}
+	if _, err := Assemble("movi r1, 0x10000", nil); err == nil {
+		t.Fatal("oversized movi should be rejected")
+	}
+	// li accepts the full signed range.
+	f, err := Assemble("li r1, -1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := binary.BigEndian.Uint32(f.Text[0:])
+	hi := binary.BigEndian.Uint32(f.Text[4:])
+	_, _, _, immLo := vcpu.Decode(lo)
+	_, _, _, immHi := vcpu.Decode(hi)
+	if immLo != 0xFFFF || immHi != 0xFFFF {
+		t.Fatalf("li -1 encoded %#x %#x", immLo, immHi)
+	}
+}
+
+func TestAddiSignedRange(t *testing.T) {
+	if _, err := Assemble("addi r1, -32768", nil); err != nil {
+		t.Fatalf("addi min: %v", err)
+	}
+	if _, err := Assemble("addi r1, 32767", nil); err != nil {
+		t.Fatalf("addi max: %v", err)
+	}
+	if _, err := Assemble("addi r1, 32768", nil); err == nil {
+		t.Fatal("addi overflow should be rejected")
+	}
+	if _, err := Assemble("addi r1, -32769", nil); err == nil {
+		t.Fatal("addi underflow should be rejected")
+	}
+}
+
+func TestSymbolArithmetic(t *testing.T) {
+	f, err := Assemble(`
+start:	nop
+	nop
+	jmp start+4
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binary.BigEndian.Uint32(f.Text[8:])
+	_, _, _, imm := vcpu.Decode(w)
+	// target = start+4 = text+4; rel = 4 - (8+4) = -8
+	if int16(imm) != -8 {
+		t.Fatalf("rel = %d", int16(imm))
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	f, err := Assemble("a: b: nop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := f.Lookup("a")
+	vb, _ := f.Lookup("b")
+	if va != vb {
+		t.Fatal("stacked labels should share an address")
+	}
+}
+
+func TestBssSpaceAndAlign(t *testing.T) {
+	f, err := Assemble(`
+	nop
+.data
+x:	.byte 1
+.align 4
+y:	.word 2
+.bss
+z:	.space 10
+.align 8
+w:	.space 1
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := f.Lookup("x")
+	y, _ := f.Lookup("y")
+	if y != x+4 {
+		t.Fatalf("align in data: x=%#x y=%#x", x, y)
+	}
+	z, _ := f.Lookup("z")
+	w, _ := f.Lookup("w")
+	if w != z+16 {
+		t.Fatalf("align in bss: z=%#x w=%#x", z, w)
+	}
+	if f.BSSSize != 17 {
+		t.Fatalf("bss size = %d", f.BSSSize)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("junk here", nil)
+}
+
+func TestEquForwardReference(t *testing.T) {
+	f, err := Assemble(`
+.equ TOTAL, BASE+4
+.equ BASE, 0x10
+	movi r1, TOTAL
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, imm := vcpu.Decode(binary.BigEndian.Uint32(f.Text))
+	if imm != 0x14 {
+		t.Fatalf("TOTAL = %#x", imm)
+	}
+}

@@ -1,0 +1,298 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/vcpu"
+	"repro/internal/xout"
+)
+
+func word(f *xout.File, i int) uint32 {
+	return binary.BigEndian.Uint32(f.Text[4*i:])
+}
+
+func TestAssembleBasics(t *testing.T) {
+	f, err := Assemble(`
+; a tiny program
+start:	movi r1, 10
+	addi r1, -1
+	cmpi r1, 0
+	jne start+4
+	syscall
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Text) != 5*4 {
+		t.Fatalf("text len = %d", len(f.Text))
+	}
+	op, ra, _, imm := vcpu.Decode(word(f, 0))
+	if op != vcpu.OpMOVI || ra != 1 || imm != 10 {
+		t.Fatalf("first instr wrong: %#x", word(f, 0))
+	}
+	op, _, _, imm = vcpu.Decode(word(f, 3))
+	if op != vcpu.OpJNE || int16(imm) != -12 {
+		t.Fatalf("branch encoding wrong: imm=%d", int16(imm))
+	}
+	if f.Entry != xout.TextBase {
+		t.Fatalf("entry = %#x", f.Entry)
+	}
+	if v, ok := f.Lookup("start"); !ok || v != xout.TextBase {
+		t.Fatal("symbol start missing")
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	f, err := Assemble(`
+.text
+	nop
+.data
+msg:	.asciz "hi\n"
+val:	.word 42, 0x10
+b:	.byte 1, 2, 3
+.bss
+buf:	.space 100
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data[:4]) != "hi\n\x00" {
+		t.Fatalf("data = %q", f.Data[:4])
+	}
+	// The asciz is 4 bytes, so the .word lands aligned here; .word does
+	// not auto-align (use .align 4 when needed).
+	if binary.BigEndian.Uint32(f.Data[4:]) != 42 {
+		t.Fatalf("val = %#x", f.Data[4:8])
+	}
+	if f.BSSSize != 100 {
+		t.Fatalf("bss = %d", f.BSSSize)
+	}
+	msg, _ := f.Lookup("msg")
+	if msg != f.DataBase() {
+		t.Fatalf("msg addr = %#x, want %#x", msg, f.DataBase())
+	}
+	buf, _ := f.Lookup("buf")
+	if buf != f.BSSBase() {
+		t.Fatalf("buf addr = %#x, want %#x", buf, f.BSSBase())
+	}
+}
+
+func TestPseudoLiLa(t *testing.T) {
+	f, err := Assemble(`
+	li r2, 0x12345678
+	la r3, msg
+.data
+msg:	.ascii "x"
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ra, _, imm := vcpu.Decode(word(f, 0))
+	if op != vcpu.OpMOVI || ra != 2 || imm != 0x5678 {
+		t.Fatal("li low half wrong")
+	}
+	op, _, _, imm = vcpu.Decode(word(f, 1))
+	if op != vcpu.OpMOVHI || imm != 0x1234 {
+		t.Fatal("li high half wrong")
+	}
+	_, _, _, lo := vcpu.Decode(word(f, 2))
+	_, _, _, hi := vcpu.Decode(word(f, 3))
+	addr := uint32(hi)<<16 | uint32(lo)
+	if want, _ := f.Lookup("msg"); addr != want {
+		t.Fatalf("la resolved %#x, want %#x", addr, want)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	f, err := Assemble(`
+	ld r1, [r2]
+	ld r1, [r2+8]
+	st r3, [r4-4]
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rb, imm := vcpu.Decode(word(f, 0))
+	if rb != 2 || imm != 0 {
+		t.Fatal("[r2] wrong")
+	}
+	_, _, _, imm = vcpu.Decode(word(f, 1))
+	if imm != 8 {
+		t.Fatal("[r2+8] wrong")
+	}
+	op, ra, rb, imm := vcpu.Decode(word(f, 2))
+	if op != vcpu.OpST || ra != 3 || rb != 4 || int16(imm) != -4 {
+		t.Fatal("[r4-4] wrong")
+	}
+}
+
+func TestEquAndPredef(t *testing.T) {
+	f, err := Assemble(`
+.equ EXIT, 1
+	movi r0, EXIT
+	movi r1, SYS_write
+	syscall
+`, &Options{Predef: map[string]uint32{"SYS_write": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, imm := vcpu.Decode(word(f, 0))
+	if imm != 1 {
+		t.Fatal("EXIT wrong")
+	}
+	_, _, _, imm = vcpu.Decode(word(f, 1))
+	if imm != 4 {
+		t.Fatal("SYS_write wrong")
+	}
+}
+
+func TestEntryAndLibs(t *testing.T) {
+	f, err := Assemble(`
+.lib "libc"
+.entry main
+	nop
+main:	nop
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry != xout.TextBase+4 {
+		t.Fatalf("entry = %#x", f.Entry)
+	}
+	if len(f.Libs) != 1 || f.Libs[0] != "libc" {
+		t.Fatal("libs wrong")
+	}
+}
+
+func TestCharConstantsAndComments(t *testing.T) {
+	f, err := Assemble(`
+	movi r1, 'A'    # trailing comment
+	movi r2, '\n'   ; other comment style
+.data
+s:	.ascii "semi;colon#hash"
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, imm := vcpu.Decode(word(f, 0))
+	if imm != 'A' {
+		t.Fatal("char constant wrong")
+	}
+	_, _, _, imm = vcpu.Decode(word(f, 1))
+	if imm != '\n' {
+		t.Fatal("escaped char wrong")
+	}
+	if !strings.Contains(string(f.Data), "semi;colon#hash") {
+		t.Fatalf("string with comment chars mangled: %q", f.Data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",         // unknown mnemonic
+		"movi r9, 1",           // bad register
+		"movi r1",              // missing operand
+		"ld r1, r2",            // bad memory operand
+		"jmp faraway",          // undefined symbol
+		".data\n nop",          // instruction outside .text
+		"dup: nop\ndup: nop",   // duplicate label
+		".equ a, b\n.equ b, a", // circular equ
+		"movi r1, 0x falsy",    // junk immediate
+		`.lib libc`,            // unquoted string
+		".space zork",          // bad space
+		".align 3",             // non-power-of-two align
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, nil); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n", nil)
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Fatalf("line = %d, want 3", aerr.Line)
+	}
+	if !strings.Contains(aerr.Error(), "line 3") {
+		t.Fatal("message should name the line")
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("start: nop\n")
+	for i := 0; i < 10000; i++ {
+		b.WriteString("nop\n")
+	}
+	b.WriteString("jmp start\n")
+	if _, err := Assemble(b.String(), nil); err == nil {
+		t.Fatal("branch beyond ±32K should fail")
+	}
+}
+
+// Assemble→Disasm round trip for representative instructions.
+func TestDisasmRoundTrip(t *testing.T) {
+	src := []string{
+		"movi r1, 0x10",
+		"add r1, r2",
+		"ld r3, [r4+8]",
+		"push r5",
+		"syscall",
+		"bpt",
+		"ret",
+	}
+	f, err := Assemble(strings.Join(src, "\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range src {
+		got := vcpu.Disasm(word(f, i), xout.TextBase+uint32(4*i))
+		if got != want {
+			t.Errorf("disasm %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// An assembled program must actually run on the CPU.
+func TestAssembledProgramExecutes(t *testing.T) {
+	f := MustAssemble(`
+.entry main
+main:	movi r1, 0
+	movi r2, 5
+loop:	add r1, r2
+	addi r2, -1
+	cmpi r2, 0
+	jne loop
+	bpt
+`, nil)
+	// Load by hand into an AS at the xout layout.
+	cpu := loadForTest(t, f)
+	for i := 0; ; i++ {
+		tr := cpu.Step()
+		if tr.Kind == vcpu.TrapFault {
+			if cpu.Regs.R[1] != 15 {
+				t.Fatalf("r1 = %d, want 15", cpu.Regs.R[1])
+			}
+			return
+		}
+		if i > 1000 {
+			t.Fatal("program did not terminate")
+		}
+	}
+}
+
+func loadForTest(t *testing.T, f *xout.File) *vcpu.CPU {
+	t.Helper()
+	cpu := newLoadedCPU(f)
+	if cpu == nil {
+		t.Fatal("load failed")
+	}
+	return cpu
+}

@@ -1,0 +1,43 @@
+package asm
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vcpu"
+	"repro/internal/xout"
+)
+
+// newLoadedCPU maps an image per the xout layout conventions and returns a
+// CPU positioned at the entry point. It is a miniature of the kernel's exec,
+// used here so the assembler tests can run programs without the kernel.
+func newLoadedCPU(f *xout.File) *vcpu.CPU {
+	as := mem.NewAS(4096)
+	obj := &mem.ByteObject{Name: "a.out", Data: append(append([]byte{}, f.Text...), f.Data...)}
+	if len(f.Text) > 0 {
+		if _, err := as.Map(mem.MapArgs{Base: xout.TextBase, Len: uint32(len(f.Text)),
+			Prot: mem.ProtRX, Obj: obj, Kind: mem.KindText, Fixed: true}); err != nil {
+			return nil
+		}
+	}
+	if len(f.Data) > 0 {
+		if _, err := as.Map(mem.MapArgs{Base: f.DataBase(), Len: uint32(len(f.Data)),
+			Prot: mem.ProtRW, Obj: obj, Off: int64(len(f.Text)), Kind: mem.KindData, Fixed: true}); err != nil {
+			return nil
+		}
+	}
+	if f.BSSSize > 0 {
+		if _, err := as.Map(mem.MapArgs{Base: f.BSSBase(), Len: f.BSSSize,
+			Prot: mem.ProtRW, Kind: mem.KindBSS, Fixed: true}); err != nil {
+			return nil
+		}
+	}
+	stk, err := as.Map(mem.MapArgs{Base: xout.StackTop - xout.StackInit, Len: xout.StackInit,
+		Prot: mem.ProtRW, Kind: mem.KindStack, Fixed: true})
+	if err != nil {
+		return nil
+	}
+	as.SetStack(stk, xout.StackLimit)
+	cpu := &vcpu.CPU{AS: as}
+	cpu.Regs.PC = f.Entry
+	cpu.Regs.SP = xout.StackTop
+	return cpu
+}

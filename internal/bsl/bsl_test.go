@@ -1,0 +1,373 @@
+package bsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/bsl"
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// run compiles a bsl program, runs it on a booted system, and returns the
+// exit code.
+func run(t *testing.T, src string) int {
+	t.Helper()
+	img, err := bsl.CompileToImage(src, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s := repro.NewSystem()
+	if err := s.FS.WriteFile("/bin/prog", img.Marshal(), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn("/bin/prog", nil, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ok, code := kernel.WIfExited(status)
+	if !ok {
+		t.Fatalf("program died: status %#x", status)
+	}
+	return code
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := run(t, `func main() { return 42; }`); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"17 / 5", 3},
+		{"17 % 5", 2},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"1 << 4", 16},
+		{"64 >> 3", 8},
+		{"-5 + 10", 5},
+		{"~0 & 0xFF", 255},
+		{"!0", 1},
+		{"!7", 0},
+		{"3 < 5", 1},
+		{"5 < 3", 0},
+		{"5 <= 5", 1},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"7 > 2", 1},
+		{"2 >= 7", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 3", 1},
+		{"0 || 0", 0},
+	}
+	for _, tc := range cases {
+		src := "func main() { return " + tc.expr + "; }"
+		if got := run(t, src); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	got := run(t, `
+func main() {
+    var a = 10;
+    var b;
+    b = a * 2;
+    a = a + b;
+    return a;   // 30
+}`)
+	if got != 30 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	got := run(t, `
+var counter = 5;
+var uninit;
+
+func bump() { counter = counter + 1; return 0; }
+
+func main() {
+    bump(); bump(); bump();
+    uninit = 100;
+    return counter + uninit / 10;   // 8 + 10
+}`)
+	if got != 18 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	got := run(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(10); }`)
+	if got != 55 {
+		t.Fatalf("fib(10) = %d", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	got := run(t, `
+func main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    return sum;   // 55
+}`)
+	if got != 55 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+func classify(n) {
+    if (n < 10) { return 1; }
+    else if (n < 100) { return 2; }
+    else { return 3; }
+}
+func main() { return classify(%s); }`
+	for in, want := range map[string]int{"5": 1, "50": 2, "500": 3} {
+		if got := run(t, strings.Replace(src, "%s", in, 1)); got != want {
+			t.Errorf("classify(%s) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestArrays(t *testing.T) {
+	got := run(t, `
+var table[10];
+
+func main() {
+    var i = 0;
+    while (i < 10) {
+        table[i] = i * i;
+        i = i + 1;
+    }
+    return table[7];   // 49
+}`)
+	if got != 49 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestLocalInLoopDoesNotGrowStack(t *testing.T) {
+	// A var inside a loop must not push per iteration; with 100k
+	// iterations a broken frame would blow the stack limit.
+	got := run(t, `
+func main() {
+    var i = 0;
+    var last = 0;
+    while (i < 100000) {
+        var t = i * 2;
+        last = t;
+        i = i + 1;
+    }
+    return last % 251;
+}`)
+	if got != (99999*2)%251 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSysBuiltin(t *testing.T) {
+	// getpid via sys(): pid of the first spawned process is 3.
+	got := run(t, `func main() { return sys(20); }`)
+	if got != 3 {
+		t.Fatalf("sys(20) = %d", got)
+	}
+}
+
+func TestSysFileIO(t *testing.T) {
+	got := run(t, `
+var path = "/tmp/bsl.out";
+var msg = "written from bsl\n";
+var buf[8];
+
+func main() {
+    var fd = sys(8, path, 438);      // creat(path, 0666)
+    if (fd > 63) { return 1; }
+    sys(4, fd, msg, 17);             // write
+    sys(6, fd);                      // close
+    fd = sys(5, path, 1);            // open O_RDONLY
+    var n = sys(3, fd, buf, 17);     // read
+    return n;                        // 17
+}`)
+	if got != 17 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestForkWithSys(t *testing.T) {
+	got := run(t, `
+var status[1];
+
+func main() {
+    var pid = sys(2);                // fork
+    if (pid == 0) {
+        sys(1, 7);                   // child exits 7
+    }
+    sys(7, status);                  // wait(&status)
+    return status[0] >> 8;           // child's code
+}`)
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestStringGlobalIsAddress(t *testing.T) {
+	got := run(t, `
+var s = "ABC";
+func main() {
+    // Reading through the address needs sys(read)-style access; just
+    // verify the address is nonzero and stable across uses.
+    return (s == s) + (s != 0);
+}`)
+	if got != 2 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`func main() { return x; }`,                               // undefined name
+		`func main() { x = 1; }`,                                  // assign to undefined
+		`func f() {} func f() {}`,                                 // redefinition (also no main)
+		`var a; var a; func main() {}`,                            // dup global
+		`func main(a, a) {}`,                                      // dup param
+		`func main() { var a; var a; }`,                           // dup local
+		`func main() { return f(1); } func f(a, b) { return 0; }`, // arity
+		`func main() { if 1 { } }`,                                // missing parens
+		`func main() { sys(); }`,                                  // empty sys
+		`func main() { return 1 }`,                                // missing semicolon
+		`var s = ;`,                                               // bad initializer
+		`func main() { return "x" [0]; }`,                         // junk
+		`func notmain() {}`,                                       // no main
+		`func main() { return 0xFFFFFFFFF; }`,                     // number too large
+		`func main() { return "unterminated`,                      // unterminated string
+	}
+	for _, src := range cases {
+		if _, err := bsl.Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorHasLine(t *testing.T) {
+	_, err := bsl.Compile("func main() {\n  return\n  bogus ?;\n}")
+	cerr, ok := err.(*bsl.Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if cerr.Line < 2 {
+		t.Fatalf("line = %d", cerr.Line)
+	}
+}
+
+func TestCommentsAndCharLiterals(t *testing.T) {
+	got := run(t, `
+// leading comment
+func main() {
+    var c = 'A';        // a char literal
+    var n = '\n';
+    return c + n;       // 65 + 10
+}`)
+	if got != 75 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileEmitsSymbols(t *testing.T) {
+	img, err := bsl.CompileToImage(`
+func helper(x) { return x; }
+func main() { return helper(1); }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := img.Lookup("main"); !ok {
+		t.Fatal("main symbol missing")
+	}
+	if _, ok := img.Lookup("helper"); !ok {
+		t.Fatal("helper symbol missing")
+	}
+	if _, ok := img.Lookup("_start"); !ok {
+		t.Fatal("_start symbol missing")
+	}
+}
+
+// Deep recursion in compiled code exercises the kernel's automatic stack
+// growth: each frame is pushed by generated prologue code, and the VM grows
+// the stack mapping transparently.
+func TestDeepRecursionGrowsStack(t *testing.T) {
+	img, err := bsl.CompileToImage(`
+func sum(n) {
+    if (n == 0) { return 0; }
+    return n + sum(n - 1);
+}
+func main() { return sum(2000) % 251; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := repro.NewSystem()
+	s.FS.WriteFile("/bin/deep", img.Marshal(), 0o755, 0, 0)
+	p, err := s.Spawn("/bin/deep", nil, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, code := kernel.WIfExited(status)
+	if !ok {
+		t.Fatalf("died: %#x", status)
+	}
+	if want := (2000 * 2001 / 2) % 251; code != want {
+		t.Fatalf("sum = %d, want %d", code, want)
+	}
+	if p.AS != nil {
+		t.Fatal("process should be gone")
+	}
+}
+
+// Division by zero in compiled code dies with SIGFPE, like any program.
+func TestCompiledDivByZeroDies(t *testing.T) {
+	img, err := bsl.CompileToImage(`
+var zero = 0;
+func main() { return 1 / zero; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := repro.NewSystem()
+	s.FS.WriteFile("/bin/crash", img.Marshal(), 0o755, 0, 0)
+	p, _ := s.Spawn("/bin/crash", nil, types.UserCred(100, 10))
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, sig, core := kernel.WIfSignaled(status); !ok || sig != types.SIGFPE || !core {
+		t.Fatalf("status = %#x, want SIGFPE with core", status)
+	}
+}

@@ -1,0 +1,310 @@
+package bsl
+
+// Expression compilation: the result of every expression lands in r1.
+// Temporaries are kept on the stack (push the left operand, evaluate the
+// right, pop and combine), so function calls and sys() inside expressions
+// are safe.
+
+// Precedence climbing over the binary operators.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (c *compiler) expr() error { return c.binary(1) }
+
+func (c *compiler) binary(minPrec int) error {
+	if err := c.unary(); err != nil {
+		return err
+	}
+	for {
+		t := c.tok()
+		if t.kind != tPunct {
+			return nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return nil
+		}
+		op := t.text
+		c.advance()
+		c.emit("push r1")
+		if err := c.binary(prec + 1); err != nil {
+			return err
+		}
+		c.emit("mov r2, r1")
+		c.emit("pop r1")
+		c.combine(op)
+	}
+}
+
+// combine applies a binary operator to r1 (left) and r2 (right).
+func (c *compiler) combine(op string) {
+	switch op {
+	case "+":
+		c.emit("add r1, r2")
+	case "-":
+		c.emit("sub r1, r2")
+	case "*":
+		c.emit("mul r1, r2")
+	case "/":
+		c.emit("div r1, r2")
+	case "%":
+		c.emit("mod r1, r2")
+	case "&":
+		c.emit("and r1, r2")
+	case "|":
+		c.emit("or r1, r2")
+	case "^":
+		c.emit("xor r1, r2")
+	case "<<":
+		c.emit("shlr r1, r2")
+	case ">>":
+		c.emit("shrr r1, r2")
+	case "&&":
+		// Normalize both to 0/1 and AND. (No short circuit; bsl
+		// expressions are effect-free except for calls, which the
+		// programmer sequences explicitly.)
+		c.normalizeBool("r1")
+		c.normalizeBool("r2")
+		c.emit("and r1, r2")
+	case "||":
+		c.emit("or r1, r2")
+		c.normalizeBool("r1")
+	case "==", "!=", "<", "<=", ">", ">=":
+		c.comparison(op)
+	}
+}
+
+// normalizeBool turns a register into 0/1.
+func (c *compiler) normalizeBool(reg string) {
+	done := c.newLabel()
+	c.emit("cmpi %s, 0", reg)
+	c.emit("movi %s, 1", reg)
+	c.emit("jne %s", done)
+	c.emit("movi %s, 0", reg)
+	c.label(done)
+}
+
+// comparison sets r1 to the 0/1 outcome of r1 <op> r2 (signed).
+func (c *compiler) comparison(op string) {
+	jcc := map[string]string{
+		"==": "je", "!=": "jne", "<": "jlt", "<=": "jle", ">": "jgt", ">=": "jge",
+	}[op]
+	yes := c.newLabel()
+	done := c.newLabel()
+	c.emit("cmp r1, r2")
+	c.emit("%s %s", jcc, yes)
+	c.emit("movi r1, 0")
+	c.emit("jmp %s", done)
+	c.label(yes)
+	c.emit("movi r1, 1")
+	c.label(done)
+}
+
+func (c *compiler) unary() error {
+	t := c.tok()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-":
+			c.advance()
+			if err := c.unary(); err != nil {
+				return err
+			}
+			c.emit("mov r2, r1")
+			c.emit("movi r1, 0")
+			c.emit("sub r1, r2")
+			return nil
+		case "!":
+			c.advance()
+			if err := c.unary(); err != nil {
+				return err
+			}
+			done := c.newLabel()
+			c.emit("cmpi r1, 0")
+			c.emit("movi r1, 0")
+			c.emit("jne %s", done)
+			c.emit("movi r1, 1")
+			c.label(done)
+			return nil
+		case "~":
+			c.advance()
+			if err := c.unary(); err != nil {
+				return err
+			}
+			c.emit("not r1")
+			return nil
+		}
+	}
+	return c.primary()
+}
+
+func (c *compiler) primary() error {
+	t := c.tok()
+	switch {
+	case t.kind == tNum:
+		c.advance()
+		if t.num <= 0xFFFF {
+			c.emit("movi r1, %d", t.num)
+		} else {
+			c.emit("li r1, %d", t.num)
+		}
+		return nil
+	case t.kind == tStr:
+		c.advance()
+		c.emit("la r1, %s", c.strLabel(t.text))
+		return nil
+	case c.isPunct("("):
+		c.advance()
+		if err := c.expr(); err != nil {
+			return err
+		}
+		return c.expectPunct(")")
+	case c.isKeyword("sys"):
+		return c.sysCall()
+	case t.kind == tIdent && !isKeywordName(t.text):
+		name := t.text
+		next := c.toks[c.pos+1]
+		if next.kind == tPunct && next.text == "(" {
+			return c.call()
+		}
+		if next.kind == tPunct && next.text == "[" {
+			c.advance() // name
+			c.advance() // [
+			if err := c.expr(); err != nil {
+				return err
+			}
+			if err := c.expectPunct("]"); err != nil {
+				return err
+			}
+			g, ok := c.globals[name]
+			if !ok || g.kind != gArray {
+				return c.errf("%q is not an array", name)
+			}
+			c.emit("shl r1, 2")
+			c.emit("la r3, %s", g.label)
+			c.emit("add r3, r1")
+			c.emit("ld r1, [r3]")
+			return nil
+		}
+		c.advance()
+		return c.load(name)
+	}
+	return c.errf("unexpected token %q in expression", t.text)
+}
+
+// load reads a named variable into r1. A bare array or function name
+// evaluates to its address (useful as a sys() buffer argument).
+func (c *compiler) load(name string) error {
+	if off, ok := c.locals[name]; ok {
+		c.emit("ld r1, [r6%+d]", off)
+		return nil
+	}
+	if off, ok := c.params[name]; ok {
+		c.emit("ld r1, [r6%+d]", off)
+		return nil
+	}
+	if g, ok := c.globals[name]; ok {
+		switch g.kind {
+		case gScalar:
+			c.emit("la r3, %s", g.label)
+			c.emit("ld r1, [r3]")
+		case gArray, gFunc:
+			c.emit("la r1, %s", g.label)
+		}
+		return nil
+	}
+	return c.errf("undefined name %q", name)
+}
+
+// call compiles a function call: name(args...).
+func (c *compiler) call() error {
+	name, err := c.expectIdent()
+	if err != nil {
+		return err
+	}
+	g, ok := c.globals[name]
+	if ok && g.kind != gFunc {
+		return c.errf("%q is not a function", name)
+	}
+	if err := c.expectPunct("("); err != nil {
+		return err
+	}
+	n := 0
+	for !c.isPunct(")") {
+		if n > 0 {
+			if err := c.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		if err := c.expr(); err != nil {
+			return err
+		}
+		c.emit("push r1")
+		n++
+	}
+	c.advance() // )
+	if ok && g.arity != n {
+		return c.errf("%q takes %d argument(s), got %d", name, g.arity, n)
+	}
+	if !ok {
+		// Forward reference: record a function of this arity; a later
+		// definition with a different arity will not be checked, but the
+		// assembler still catches undefined labels.
+		c.globals[name] = gsym{kind: gFunc, label: name, arity: n}
+	}
+	c.emit("call %s", name)
+	if n > 0 {
+		c.emit("movspr r3")
+		c.emit("addi r3, %d", 4*n)
+		c.emit("movrsp r3")
+	}
+	return nil
+}
+
+// sysCall compiles sys(num, args...) into a system call; the result (R0) is
+// the expression value.
+func (c *compiler) sysCall() error {
+	c.advance() // sys
+	if err := c.expectPunct("("); err != nil {
+		return err
+	}
+	n := 0
+	for !c.isPunct(")") {
+		if n > 0 {
+			if err := c.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		if err := c.expr(); err != nil {
+			return err
+		}
+		c.emit("push r1")
+		n++
+	}
+	c.advance() // )
+	if n < 1 {
+		return c.errf("sys() needs at least the call number")
+	}
+	if n > 6 {
+		return c.errf("sys() takes at most 6 operands")
+	}
+	// Stack (top first): last arg ... first arg, number deepest? No: the
+	// number was pushed first (deepest). Pop args into r(n-1)..r1, then
+	// the number into r0.
+	for j := n - 1; j >= 1; j-- {
+		c.emit("pop r%d", j)
+	}
+	c.emit("pop r0")
+	c.emit("syscall")
+	c.emit("mov r1, r0")
+	return nil
+}

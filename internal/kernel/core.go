@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Core dumps. When a signal's default disposition is DispCore, the dying
+// process leaves an image of its address space and registers in a file named
+// core.<pid> in its working directory — the "possibly with a core dump" of
+// the paper's psig() description. The format is a simple segment dump that
+// debuggers (and tests) can parse with ParseCore.
+
+// CoreMagic identifies a core file.
+var CoreMagic = [4]byte{'C', 'O', 'R', 'E'}
+
+// CoreImage is a parsed core file.
+type CoreImage struct {
+	Pid    int
+	Signal int
+	Regs   [11]uint32 // R0..R7, PC, SP, PSW
+	Segs   []CoreSeg
+}
+
+// CoreSeg is one dumped mapping.
+type CoreSeg struct {
+	Vaddr uint32
+	Data  []byte
+}
+
+// writeCore dumps the process image. Failures are ignored — a core dump is
+// best-effort, as it always was.
+func (k *Kernel) writeCore(p *Proc, sig int) {
+	l := p.Rep()
+	if l == nil || p.AS == nil {
+		return
+	}
+	var out []byte
+	out = append(out, CoreMagic[:]...)
+	out = binary.BigEndian.AppendUint32(out, uint32(p.Pid))
+	out = binary.BigEndian.AppendUint32(out, uint32(sig))
+	regs := l.CPU.Regs
+	for _, v := range regs.R {
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	out = binary.BigEndian.AppendUint32(out, regs.PC)
+	out = binary.BigEndian.AppendUint32(out, regs.SP)
+	out = binary.BigEndian.AppendUint32(out, regs.PSW)
+	segs := p.AS.Segs()
+	out = binary.BigEndian.AppendUint32(out, uint32(len(segs)))
+	for _, s := range segs {
+		out = binary.BigEndian.AppendUint32(out, s.Base)
+		out = binary.BigEndian.AppendUint32(out, s.Len)
+		data := make([]byte, s.Len)
+		p.AS.ReadAt(data, int64(s.Base))
+		out = append(out, data...)
+	}
+	name := fmt.Sprintf("core.%d", p.Pid)
+	dir := p.CWD
+	if dir == "" {
+		dir = "/tmp"
+	}
+	dw, base, err := k.NS.LookupDir(vfs.Clean(dir+"/"+name), p.Cred)
+	if err != nil {
+		return
+	}
+	vn, err := dw.VLookup(base, types.RootCred())
+	if err == vfs.ErrNotExist {
+		vn, err = dw.VCreate(base, 0o600, p.Cred)
+	}
+	if err != nil {
+		return
+	}
+	h, err := vn.VOpen(vfs.OWrite, p.Cred)
+	if err != nil {
+		return
+	}
+	defer h.HClose()
+	h.HWrite(out, 0)
+	k.tracef("pid %d dumped core (%d bytes)", p.Pid, len(out))
+}
+
+// ParseCore parses a core file.
+func ParseCore(b []byte) (*CoreImage, error) {
+	if len(b) < 4 || b[0] != 'C' || b[1] != 'O' || b[2] != 'R' || b[3] != 'E' {
+		return nil, fmt.Errorf("kernel: not a core file")
+	}
+	off := 4
+	u32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("kernel: truncated core file")
+		}
+		v := binary.BigEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	img := &CoreImage{}
+	v, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	img.Pid = int(v)
+	if v, err = u32(); err != nil {
+		return nil, err
+	}
+	img.Signal = int(v)
+	for i := range img.Regs {
+		if img.Regs[i], err = u32(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1024 {
+		return nil, fmt.Errorf("kernel: unreasonable core segment count")
+	}
+	for i := uint32(0); i < n; i++ {
+		base, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		size, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(size) > len(b) {
+			return nil, fmt.Errorf("kernel: truncated core segment")
+		}
+		data := make([]byte, size)
+		copy(data, b[off:])
+		off += int(size)
+		img.Segs = append(img.Segs, CoreSeg{Vaddr: base, Data: data})
+	}
+	return img, nil
+}
+
+// At returns the byte at a virtual address in the core image.
+func (c *CoreImage) At(addr uint32) (byte, bool) {
+	for _, s := range c.Segs {
+		if addr >= s.Vaddr && addr < s.Vaddr+uint32(len(s.Data)) {
+			return s.Data[addr-s.Vaddr], true
+		}
+	}
+	return 0, false
+}

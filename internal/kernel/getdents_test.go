@@ -1,0 +1,73 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// A user program lists a directory with getdents(2).
+func TestGetdents(t *testing.T) {
+	f := boot(t)
+	f.FS.WriteFile("/tmp/a", nil, 0o644, 0, 0)
+	f.FS.WriteFile("/tmp/b", nil, 0o644, 0, 0)
+	f.FS.MkdirAll("/tmp/sub", 0o755)
+	p := f.spawn("lister", `
+	movi r0, SYS_open
+	la r1, dir
+	movi r2, 1
+	syscall
+	mov r6, r0
+	movi r7, 0		; entry count
+more:	movi r0, SYS_getdents
+	mov r1, r6
+	la r2, buf
+	movi r3, 256
+	syscall
+	cmpi r0, 0
+	je done
+	; r0 bytes = r0/64 entries
+	movi r2, 64
+	div r0, r2
+	add r7, r0
+	jmp more
+done:	mov r1, r7
+	movi r0, SYS_exit
+	syscall
+.data
+dir:	.asciz "/tmp"
+buf:	.space 256
+`, user())
+	status := f.runToExit(p)
+	if _, code := kernel.WIfExited(status); code != 3 {
+		t.Fatalf("entries = %d, want 3", code)
+	}
+}
+
+// getdents on a non-directory fails.
+func TestGetdentsOnFile(t *testing.T) {
+	f := boot(t)
+	f.FS.WriteFile("/tmp/plain", []byte("x"), 0o644, 0, 0)
+	p := f.spawn("badlist", `
+	movi r0, SYS_open
+	la r1, path
+	movi r2, 1
+	syscall
+	mov r6, r0
+	movi r0, SYS_getdents
+	mov r1, r6
+	la r2, buf
+	movi r3, 128
+	syscall
+	mov r1, r0		; ENOTDIR
+	movi r0, SYS_exit
+	syscall
+.data
+path:	.asciz "/tmp/plain"
+buf:	.space 128
+`, user())
+	status := f.runToExit(p)
+	if _, code := kernel.WIfExited(status); code != int(kernel.ENOTDIR) {
+		t.Fatalf("code = %d, want ENOTDIR", code)
+	}
+}

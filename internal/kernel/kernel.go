@@ -1,0 +1,267 @@
+// Package kernel implements the UNIX System V process model the paper's
+// /proc interface presents: processes with address spaces and credentials,
+// threads of control (LWPs) with register contexts, fork/vfork/exec/exit/
+// wait, a full signal machinery reproducing the issig()/psig() logic of the
+// paper's Figure 4, machine-fault handling, system-call dispatch with entry
+// and exit stop points (Figure 3), job control, the legacy ptrace(2)
+// mechanism that /proc supersedes, and the process-control operations /proc
+// is built from (directed stops, traced events of interest, run directives).
+//
+// The kernel is a deterministic cooperative simulation: target processes
+// execute on virtual CPUs, one Step at a time, on the caller's goroutine.
+// Controlling programs are ordinary Go code that calls the control API
+// (typically through the /proc file system) and drives the scheduler when it
+// needs to wait. Nothing here is goroutine-safe by design; determinism is a
+// feature for testing the paper's control scenarios.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/vfs"
+)
+
+// Config tunes a kernel instance.
+type Config struct {
+	PageSize int // address-space page size (default mem.DefaultPageSize)
+	Quantum  int // instructions per scheduling quantum (default 50)
+}
+
+// Kernel is one simulated system.
+type Kernel struct {
+	NS       *vfs.NS
+	PageSize int
+	Quantum  int
+
+	clock   int64
+	procs   map[int]*Proc
+	order   []*Proc // scheduling and readdir order
+	nextPid int
+	rrIndex int // round-robin position
+
+	initProc *Proc
+	clockQ   waitq // timed sleeps (sleep(2)) block here
+	// Trace, if set, receives a line for every process-model event of
+	// note (stops, signals, exits); used by tests and verbose tools.
+	Trace func(format string, args ...interface{})
+}
+
+// New creates a kernel over a name space. The conventional system processes
+// 0 (sched) and 2 (pageout) are created immediately; like the paper's Figure
+// 1 shows, they have no user-level address space so their /proc sizes are 0.
+func New(ns *vfs.NS, cfg Config) *Kernel {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = mem.DefaultPageSize
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 50
+	}
+	k := &Kernel{
+		NS:       ns,
+		PageSize: cfg.PageSize,
+		Quantum:  cfg.Quantum,
+		procs:    make(map[int]*Proc),
+	}
+	k.newSystemProc(0, "sched")
+	k.nextPid = 1 // init will be pid 1 when spawned
+	return k
+}
+
+func (k *Kernel) tracef(format string, args ...interface{}) {
+	if k.Trace != nil {
+		k.Trace(format, args...)
+	}
+}
+
+// Now returns the simulated clock in ticks.
+func (k *Kernel) Now() int64 { return k.clock }
+
+// Tick advances the clock without running anything (timers still fire).
+func (k *Kernel) Tick() {
+	k.clock++
+	k.checkTimers()
+}
+
+// Proc looks up a process by pid; nil if no such process.
+func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+
+// Procs returns all processes in creation order (including zombies).
+func (k *Kernel) Procs() []*Proc { return append([]*Proc(nil), k.order...) }
+
+// InitProc returns process 1, if it has been spawned.
+func (k *Kernel) InitProc() *Proc { return k.initProc }
+
+func (k *Kernel) allocPid() int {
+	for {
+		pid := k.nextPid
+		k.nextPid++
+		if _, taken := k.procs[pid]; !taken {
+			return pid
+		}
+	}
+}
+
+func (k *Kernel) addProc(p *Proc) {
+	k.procs[p.Pid] = p
+	k.order = append(k.order, p)
+	if p.Pid == 1 {
+		k.initProc = p
+	}
+}
+
+// removeProc drops a fully-reaped process from the tables.
+func (k *Kernel) removeProc(p *Proc) {
+	delete(k.procs, p.Pid)
+	for i, q := range k.order {
+		if q == p {
+			k.order = append(k.order[:i], k.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// newSystemProc creates a kernel-internal process with no address space.
+func (k *Kernel) newSystemProc(pid int, name string) *Proc {
+	p := &Proc{
+		k:      k,
+		Pid:    pid,
+		Comm:   name,
+		Args:   []string{name},
+		System: true,
+		state:  PAlive,
+		fds:    map[int]*vfs.File{},
+		CWD:    "/",
+		Start:  k.clock,
+	}
+	k.addProc(p)
+	return p
+}
+
+// BootSystemProcs creates the conventional pid-2 pageout daemon (pid 0 is
+// created by New). Call after init has been spawned so pid numbering matches
+// historical systems.
+func (k *Kernel) BootSystemProcs() {
+	if _, ok := k.procs[2]; !ok {
+		k.newSystemProc(2, "pageout")
+		if k.nextPid <= 2 {
+			k.nextPid = 3
+		}
+	}
+}
+
+// ErrNoProcess is returned by control operations on exited processes.
+var ErrNoProcess = errors.New("kernel: no such process")
+
+// ErrDeadlock is returned when the scheduler is asked to wait for a
+// condition that no runnable process can ever satisfy.
+var ErrDeadlock = errors.New("kernel: deadlock: nothing runnable")
+
+// Step runs one scheduling pass: every runnable LWP gets up to one quantum.
+// It reports whether any instruction was executed (false means the system is
+// fully idle: everything blocked, stopped or exited).
+func (k *Kernel) Step() bool {
+	k.clock++
+	k.checkTimers()
+	ran := false
+	n := len(k.order)
+	for i := 0; i < n; i++ {
+		k.rrIndex = (k.rrIndex + 1) % max(1, len(k.order))
+		if k.rrIndex >= len(k.order) {
+			k.rrIndex = 0
+		}
+		p := k.order[k.rrIndex]
+		if p.state != PAlive || p.System {
+			continue
+		}
+		for _, l := range p.LWPs {
+			if l.Runnable() {
+				if k.runLWP(l, k.Quantum) {
+					ran = true
+				}
+			}
+		}
+	}
+	return ran
+}
+
+// Run steps the scheduler until the system is idle or maxSteps have been
+// taken; it returns the number of steps.
+func (k *Kernel) Run(maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		if !k.Step() {
+			return i
+		}
+	}
+	return maxSteps
+}
+
+// RunUntil steps the scheduler until cond is true. It fails with ErrDeadlock
+// if the system goes idle first, and with a timeout error after maxSteps.
+func (k *Kernel) RunUntil(cond func() bool, maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if cond() {
+			return nil
+		}
+		if !k.Step() {
+			if cond() {
+				return nil
+			}
+			if !k.TimersPending() {
+				return ErrDeadlock
+			}
+		}
+	}
+	if cond() {
+		return nil
+	}
+	return fmt.Errorf("kernel: condition not reached in %d steps", maxSteps)
+}
+
+// checkTimers fires alarm(2) timers that have expired and wakes timed
+// sleepers whose deadline has passed.
+func (k *Kernel) checkTimers() {
+	for _, p := range k.order {
+		if p.state != PAlive {
+			continue
+		}
+		if p.alarmAt != 0 && k.clock >= p.alarmAt {
+			p.alarmAt = 0
+			k.PostSignal(p, sigALRM)
+		}
+		for _, l := range p.LWPs {
+			if l.sleeping && l.sleepQ == &k.clockQ && l.sleepDeadline != 0 && k.clock >= l.sleepDeadline {
+				l.wake()
+			}
+		}
+	}
+}
+
+// TimersPending reports whether a future clock tick can unblock anything —
+// an armed alarm or a timed sleep. It distinguishes "idle for now" from
+// deadlock (Step advances the clock even when nothing runs, so pending
+// timers always fire eventually).
+func (k *Kernel) TimersPending() bool {
+	for _, p := range k.order {
+		if p.state != PAlive {
+			continue
+		}
+		if p.alarmAt != 0 {
+			return true
+		}
+		for _, l := range p.LWPs {
+			if l.sleeping && l.sleepDeadline != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"errors"
+
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// errPipeGone is the internal marker for writing to a pipe with no readers.
+var errPipeGone = errors.New("kernel: pipe has no readers")
+
+// PipeCap is the pipe buffer capacity.
+const PipeCap = 4096
+
+// pipe is the shared state of one pipe(2).
+type pipe struct {
+	k       *Kernel
+	buf     []byte
+	readers int
+	writers int
+	rq, wq  waitq // sleep queues for empty reads / full writes
+}
+
+// pipeVnode gives pipes a presentable vnode (VFIFO).
+type pipeVnode struct{ p *pipe }
+
+// VAttr implements vfs.Vnode.
+func (v *pipeVnode) VAttr() (vfs.Attr, error) {
+	return vfs.Attr{Type: vfs.VFIFO, Mode: 0o600, Size: int64(len(v.p.buf)), Nlink: 1}, nil
+}
+
+// VOpen implements vfs.Vnode; pipe ends are created by pipe(2), not open(2).
+func (v *pipeVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
+	return nil, vfs.ErrNotSup
+}
+
+// pipeEnd is one end's handle.
+type pipeEnd struct {
+	p       *pipe
+	readEnd bool
+}
+
+// HRead implements vfs.Handle (offsets are ignored: pipes are streams).
+func (e *pipeEnd) HRead(p []byte, off int64) (int, error) {
+	if !e.readEnd {
+		return 0, vfs.ErrBadFD
+	}
+	pp := e.p
+	if len(pp.buf) == 0 {
+		if pp.writers == 0 {
+			return 0, vfs.EOF
+		}
+		return 0, vfs.ErrAgain
+	}
+	n := copy(p, pp.buf)
+	pp.buf = pp.buf[n:]
+	pp.k.wakeAll(&pp.wq)
+	return n, nil
+}
+
+// HWrite implements vfs.Handle.
+func (e *pipeEnd) HWrite(p []byte, off int64) (int, error) {
+	if e.readEnd {
+		return 0, vfs.ErrBadFD
+	}
+	pp := e.p
+	if pp.readers == 0 {
+		return 0, errPipeGone
+	}
+	space := PipeCap - len(pp.buf)
+	if space <= 0 {
+		return 0, vfs.ErrAgain
+	}
+	n := len(p)
+	if n > space {
+		n = space
+	}
+	pp.buf = append(pp.buf, p[:n]...)
+	pp.k.wakeAll(&pp.rq)
+	return n, nil
+}
+
+// HIoctl implements vfs.Handle.
+func (e *pipeEnd) HIoctl(cmd int, arg interface{}) error { return vfs.ErrNoIoctl }
+
+// HClose implements vfs.Handle.
+func (e *pipeEnd) HClose() error {
+	if e.readEnd {
+		e.p.readers--
+	} else {
+		e.p.writers--
+	}
+	// Wake sleepers so they observe EOF / EPIPE.
+	e.p.k.wakeAll(&e.p.rq)
+	e.p.k.wakeAll(&e.p.wq)
+	return nil
+}
+
+// HPoll implements vfs.Poller.
+func (e *pipeEnd) HPoll(mask int) int {
+	ready := 0
+	if e.readEnd && mask&vfs.PollIn != 0 && (len(e.p.buf) > 0 || e.p.writers == 0) {
+		ready |= vfs.PollIn
+	}
+	if !e.readEnd && mask&vfs.PollOut != 0 && (PipeCap-len(e.p.buf) > 0 || e.p.readers == 0) {
+		ready |= vfs.PollOut
+	}
+	return ready
+}
+
+// NewPipe creates a pipe and returns the read and write open files.
+func (k *Kernel) NewPipe() (r, w *vfs.File) {
+	p := &pipe{k: k, readers: 1, writers: 1}
+	vn := &pipeVnode{p: p}
+	r = &vfs.File{VN: vn, H: &pipeEnd{p: p, readEnd: true}, Flags: vfs.ORead}
+	w = &vfs.File{VN: vn, H: &pipeEnd{p: p, readEnd: false}, Flags: vfs.OWrite}
+	return r, w
+}
+
+func sysPipe(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	r, w := k.NewPipe()
+	rfd, e := p.allocFD(r)
+	if e != 0 {
+		r.Close()
+		w.Close()
+		return rerr(e)
+	}
+	wfd, e := p.allocFD(w)
+	if e != 0 {
+		delete(p.fds, rfd)
+		r.Close()
+		w.Close()
+		return rerr(e)
+	}
+	return ret2(uint32(rfd), uint32(wfd))
+}

@@ -1,0 +1,425 @@
+package kernel
+
+import (
+	"repro/internal/mem"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+	"repro/internal/vfs"
+)
+
+// PState is the lifecycle state of a process.
+type PState int
+
+// Process states.
+const (
+	PAlive  PState = iota // has at least one live LWP (possibly stopped)
+	PZombie               // exited, waiting to be reaped
+	PGone                 // reaped; the struct lingers only in old references
+)
+
+// StopWhy explains why an LWP is stopped — the pr_why of prstatus_t.
+type StopWhy int
+
+// Stop reasons. The first five are "events of interest" (PR_ISTOP): the
+// process is stopped on an event a controlling process asked about and
+// awaits a run directive. WhyJobControl and WhyPtrace are the competing
+// mechanisms the paper discusses.
+const (
+	WhyNone       StopWhy = iota
+	WhyRequested          // directed to stop (PIOCSTOP / PCSTOP)
+	WhySignalled          // stopped on receipt of a traced signal
+	WhyFaulted            // stopped on a traced machine fault
+	WhySysEntry           // stopped on entry to a traced system call
+	WhySysExit            // stopped on exit from a traced system call
+	WhyJobControl         // job-control stop (default action of stop signals)
+	WhyPtrace             // stopped for the legacy ptrace mechanism
+)
+
+var whyNames = [...]string{"none", "requested", "signalled", "faulted",
+	"sysentry", "sysexit", "jobcontrol", "ptrace"}
+
+// String names the stop reason.
+func (w StopWhy) String() string {
+	if int(w) < len(whyNames) {
+		return whyNames[w]
+	}
+	return "?"
+}
+
+// EventOfInterest reports whether the stop reason is a /proc event of
+// interest (as opposed to the competing mechanisms).
+func (w StopWhy) EventOfInterest() bool {
+	return w == WhyRequested || w == WhySignalled || w == WhyFaulted ||
+		w == WhySysEntry || w == WhySysExit
+}
+
+// phase is the position of an LWP in the kernel entry/exit cycle; the stop
+// points of the paper's Figure 3 are transitions of this machine.
+type phase int
+
+const (
+	phUser     phase = iota // executing user instructions
+	phSysEntry              // trapped for a system call; entry stop point
+	phSysRun                // executing the system call (may sleep)
+	phSysExit               // storing results; exit stop point
+	phRetUser               // returning to user level: issig()/psig()
+	phFault                 // processing a machine fault; fault stop point
+)
+
+// waitq identifies a sleep channel; LWPs sleeping on it are woken together
+// and retry their system call, in the classic "while (condition) sleep()"
+// style the paper remarks on.
+type waitq struct{ name string }
+
+// SigAction is the disposition of one signal.
+type SigAction struct {
+	Handler uint32       // user handler address; 0 = SIG_DFL, 1 = SIG_IGN
+	Mask    types.SigSet // additional signals held during the handler
+}
+
+// Handler sentinel values.
+const (
+	SigDFL = 0
+	SigIGN = 1
+)
+
+// TraceState is the per-process /proc tracing state: the sets of traced
+// signals, faults and system calls, and the mode flags.
+type TraceState struct {
+	Sigs    types.SigSet // signals that stop the process on receipt
+	Faults  types.FltSet // machine faults that stop the process
+	Entry   types.SysSet // system calls that stop the process at entry
+	Exit    types.SysSet // system calls that stop the process at exit
+	InhFork bool         // inherit-on-fork: children inherit tracing flags
+	RunLC   bool         // run-on-last-close: clear and run on last writable close
+
+	// Writers counts open writable /proc file descriptors; Gen is bumped
+	// when a set-id exec invalidates them; Excl marks an O_EXCL writer.
+	Writers int
+	Gen     int
+	Excl    bool
+}
+
+// Empty reports whether no tracing at all is in effect.
+func (t *TraceState) Empty() bool {
+	return t.Sigs.IsEmpty() && t.Faults.IsEmpty() && t.Entry.IsEmpty() &&
+		t.Exit.IsEmpty() && !t.InhFork && !t.RunLC
+}
+
+// Usage accumulates resource usage for the PIOCUSAGE proposed extension.
+type Usage struct {
+	UserTicks  int64 // clock ticks executing user instructions
+	SysTicks   int64 // clock ticks executing system calls
+	Syscalls   int64 // system calls made
+	Faults     int64 // machine faults incurred
+	Signals    int64 // signals received
+	ForkedKids int64 // children created
+	VolCtx     int64 // voluntary context switches (sleeps)
+	InvolCtx   int64 // involuntary context switches (quantum expiry)
+}
+
+// Proc is the system's record of one process — the paper's proc structure
+// plus what SVR4 kept in the user area.
+type Proc struct {
+	k *Kernel
+
+	Pid    int
+	Parent *Proc
+	Kids   []*Proc
+	Pgrp   int
+	Sid    int
+	Cred   types.Cred
+	// SugidDirty marks a process that has done a set-id exec; /proc open
+	// then requires super-user credentials.
+	SugidDirty bool
+	Comm       string
+	Args       []string
+	CWD        string
+	Umask      uint16
+	Nice       int
+	Start      int64 // clock at creation
+	System     bool  // pids 0 and 2: no user address space
+
+	AS   *mem.AS
+	LWPs []*LWP
+
+	state      PState
+	ExitStatus int // wait(2) status encoding, valid when zombie
+
+	fds map[int]*vfs.File
+	// ExecVN is the vnode of the running executable (for PIOCOPENM with
+	// offset 0 and for symbol lookup); ExecPath its name.
+	ExecVN   vfs.Vnode
+	ExecPath string
+	// Image is the parsed executable, kept for symbol lookup by debuggers
+	// (the real system would re-read it from the file).
+	ImageSyms func() ([]Sym, bool)
+
+	// Signal machinery.
+	SigPend types.SigSet // pending signals (process level)
+	Actions [types.MaxSig + 1]SigAction
+	alarmAt int64
+
+	// /proc state.
+	Trace TraceState
+	Usage Usage
+
+	// Job control: true when stopped by a job-control signal.
+	jobStopped bool
+	// Ptrace: process is traced via the legacy mechanism by its parent.
+	Ptraced bool
+
+	// vfork support: a vfork child borrows the parent's address space
+	// until it execs or exits; the parent sleeps on the child's vforkQ.
+	borrowsAS bool
+	vforkQ    waitq
+
+	waitq  waitq // this process sleeps here in wait(2)
+	pauseQ waitq // this process sleeps here in pause(2)/sigsuspend(2)
+
+	nextLWPID int
+}
+
+// Sym mirrors xout.Sym without importing it (kernel stays format-agnostic).
+type Sym struct {
+	Name  string
+	Value uint32
+}
+
+// State returns the lifecycle state.
+func (p *Proc) State() PState { return p.state }
+
+// Alive reports whether the process has not exited.
+func (p *Proc) Alive() bool { return p.state == PAlive }
+
+// Zombie reports whether the process awaits reaping.
+func (p *Proc) Zombie() bool { return p.state == PZombie }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Rep returns the representative LWP (the first live one) — the thread whose
+// context the flat /proc interface reports, as in single-threaded SVR4.
+func (p *Proc) Rep() *LWP {
+	for _, l := range p.LWPs {
+		if l.state != LZombie {
+			return l
+		}
+	}
+	return nil
+}
+
+// LWP looks up a thread by id.
+func (p *Proc) LWP(id int) *LWP {
+	for _, l := range p.LWPs {
+		if l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// LiveLWPs returns the non-zombie threads.
+func (p *Proc) LiveLWPs() []*LWP {
+	var out []*LWP
+	for _, l := range p.LWPs {
+		if l.state != LZombie {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// VirtSize is the total virtual memory size (0 for system processes).
+func (p *Proc) VirtSize() int64 {
+	if p.AS == nil {
+		return 0
+	}
+	return p.AS.VirtSize()
+}
+
+func (p *Proc) newLWP() *LWP {
+	p.nextLWPID++
+	l := &LWP{ID: p.nextLWPID, Proc: p, state: LRun}
+	l.CPU.AS = p.AS
+	p.LWPs = append(p.LWPs, l)
+	return l
+}
+
+// LState is the scheduling state of an LWP.
+type LState int
+
+// LWP states.
+const (
+	LRun    LState = iota // runnable (or running)
+	LSleep                // blocked in a system call
+	LStop                 // stopped
+	LZombie               // exited
+)
+
+var lstateNames = [...]string{"run", "sleep", "stop", "zombie"}
+
+// String names the state.
+func (s LState) String() string {
+	if int(s) < len(lstateNames) {
+		return lstateNames[s]
+	}
+	return "?"
+}
+
+// LWP is one thread of control: a virtual CPU context plus the kernel-side
+// state that the stop/run machinery manipulates.
+type LWP struct {
+	ID   int
+	Proc *Proc
+	CPU  vcpu.CPU
+
+	state LState
+	phase phase
+
+	// Stop bookkeeping. An LWP may be claimed stopped by several competing
+	// mechanisms at once (the paper's /proc-vs-ptrace-vs-job-control
+	// discussion); it runs only when no claim remains.
+	procClaim   bool // stopped for /proc (event of interest or request)
+	jobClaim    bool // job-control stop
+	ptraceClaim bool // ptrace signal stop
+	why         StopWhy
+	what        int // signal, fault or syscall number for why
+
+	dstop    bool // a /proc stop directive is pending ("/proc gets the last word")
+	abortSys bool // PRSABORT: abort the current system call
+	clearFlt bool // PRCFAULT applied at the faulted stop
+	// Per-delivery stop bookkeeping: which stop points the current signal
+	// has already passed (a process may stop twice for one signal).
+	sigStopTaken    bool
+	ptraceStopTaken bool
+
+	// Signal state.
+	SigHold     types.SigSet
+	CurSig      int    // the current signal (promoted from pending)
+	CurFlt      int    // current fault, valid at a faulted stop
+	FltAddr     uint32 // faulting address for the current fault
+	fltStopDone bool   // fault stop already taken for this fault
+
+	// System call context.
+	sysNum       int
+	sysArgs      [6]uint32
+	sysEntryDone bool // entry stop already taken for this call
+	sysExitDone  bool // exit stop already taken for this call
+	sysStored    bool // return values already stored in the registers
+	sysRet       uint32
+	sysR1        uint32
+	sysErr       Errno
+	// sigsuspend: the mask to restore when the call returns.
+	suspSaved *types.SigSet
+
+	// Sleep state.
+	sleepQ   *waitq
+	sleeping bool
+	// sleep(2) deadline in clock ticks; 0 when not in a timed sleep.
+	sleepDeadline int64
+	// vfork: the child this LWP waits on.
+	vforkChild *Proc
+
+	// wait reporting for ptrace/job control: set when a stop should be
+	// reported to the parent's wait(2) and not yet consumed.
+	waitReport int // encoded status, 0 = none
+}
+
+// State returns the LWP scheduling state.
+func (l *LWP) State() LState { return l.state }
+
+// Why returns the stop reason and detail (signal/fault/syscall number).
+func (l *LWP) Why() (StopWhy, int) { return l.why, l.what }
+
+// Stopped reports whether any stop claim holds the LWP.
+func (l *LWP) Stopped() bool { return l.procClaim || l.jobClaim || l.ptraceClaim }
+
+// StoppedOnEvent reports whether the LWP is stopped on a /proc event of
+// interest and awaits a run directive (PR_ISTOP).
+func (l *LWP) StoppedOnEvent() bool { return l.procClaim && l.why.EventOfInterest() }
+
+// Asleep reports whether the LWP is blocked in a system call (PR_ASLEEP).
+func (l *LWP) Asleep() bool { return l.sleeping || (l.phase == phSysRun && l.state == LSleep) }
+
+// InSyscall returns the number of the system call the LWP is executing or
+// stopped in, or 0.
+func (l *LWP) InSyscall() int {
+	switch l.phase {
+	case phSysEntry, phSysRun, phSysExit:
+		return l.sysNum
+	}
+	return 0
+}
+
+// SysArgs returns the captured system call arguments.
+func (l *LWP) SysArgs() [6]uint32 { return l.sysArgs }
+
+// Runnable reports whether the scheduler may run this LWP now.
+func (l *LWP) Runnable() bool {
+	return l.state == LRun && !l.Stopped() && !l.sleeping
+}
+
+// markStopped recomputes the scheduling state from the claims.
+func (l *LWP) recompute() {
+	switch {
+	case l.state == LZombie:
+	case l.Stopped():
+		l.state = LStop
+	case l.sleeping:
+		l.state = LSleep
+	default:
+		l.state = LRun
+	}
+}
+
+// stopEvent stops the LWP on a /proc event of interest.
+func (l *LWP) stopEvent(why StopWhy, what int) {
+	l.procClaim = true
+	l.why, l.what = why, what
+	l.recompute()
+	l.Proc.k.tracef("pid %d lwp %d stop %v/%d", l.Proc.Pid, l.ID, why, what)
+}
+
+// DirectStop arranges for the LWP to stop at the next stop point (PIOCSTOP
+// without waiting). Directed stops are honored even while the LWP sleeps.
+func (l *LWP) DirectStop() {
+	if l.state == LZombie {
+		return
+	}
+	l.dstop = true
+	if l.sleeping {
+		// Wake it so the sleep loop can take the requested stop without
+		// disturbing the system call.
+		l.wake()
+	}
+}
+
+// sleep blocks the LWP on q.
+func (l *LWP) sleep(q *waitq) {
+	l.sleepQ = q
+	l.sleeping = true
+	l.Proc.Usage.VolCtx++
+	l.recompute()
+}
+
+// wake makes a sleeping LWP runnable again (it will retry its system call).
+func (l *LWP) wake() {
+	if !l.sleeping {
+		return
+	}
+	l.sleeping = false
+	l.sleepQ = nil
+	l.recompute()
+}
+
+// wakeAll wakes every LWP in the system sleeping on q.
+func (k *Kernel) wakeAll(q *waitq) {
+	for _, p := range k.order {
+		for _, l := range p.LWPs {
+			if l.sleeping && l.sleepQ == q {
+				l.wake()
+			}
+		}
+	}
+}

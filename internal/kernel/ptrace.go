@@ -1,0 +1,240 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+// ptrace(2) requests — the obsolete interface /proc supersedes, kept because
+// it "is still required by the System V Interface Definition" and because it
+// is the baseline the paper's design improves on: word-at-a-time transfers,
+// stops entangled with signals, and control restricted to child processes.
+const (
+	PtTraceMe  = 0 // child: arrange to be traced by the parent
+	PtPeekText = 1 // read a word of text
+	PtPeekData = 2 // read a word of data
+	PtPeekUser = 3 // read a word of the user area (registers)
+	PtPokeText = 4 // write a word of text
+	PtPokeData = 5 // write a word of data
+	PtPokeUser = 6 // write a word of the user area
+	PtCont     = 7 // continue, optionally delivering a signal
+	PtKill     = 8 // terminate
+	PtStep     = 9 // single-step
+)
+
+// User-area word offsets for PtPeekUser/PtPokeUser: 0..7 are R0..R7, then
+// PC, SP, PSW — one word per call, in the classic style.
+const (
+	PtUserPC  = vcpu.NumRegs
+	PtUserSP  = vcpu.NumRegs + 1
+	PtUserPSW = vcpu.NumRegs + 2
+)
+
+func sysPtrace(k *Kernel, l *LWP) sysResult {
+	req := int(l.sysArgs[0])
+	pid := int(l.sysArgs[1])
+	addr := l.sysArgs[2]
+	data := l.sysArgs[3]
+
+	if req == PtTraceMe {
+		l.Proc.Ptraced = true
+		return ret(0)
+	}
+	// All other requests operate on a stopped traced child.
+	child := k.procs[pid]
+	if child == nil || child.Parent != l.Proc || !child.Ptraced || child.state != PAlive {
+		return rerr(ESRCH)
+	}
+	cl := child.Rep()
+	if cl == nil || !cl.ptraceClaim {
+		return rerr(ESRCH)
+	}
+	v, e := k.ptraceOp(cl, req, addr, data)
+	if e != 0 {
+		return rerr(e)
+	}
+	return ret(v)
+}
+
+// ptraceOp performs one ptrace operation on a ptrace-stopped LWP. It is
+// shared by the ptrace system call and the Go-level PtraceController.
+func (k *Kernel) ptraceOp(cl *LWP, req int, addr, data uint32) (uint32, Errno) {
+	child := cl.Proc
+	switch req {
+	case PtPeekText, PtPeekData:
+		var b [4]byte
+		if _, err := child.AS.ReadAt(b[:], int64(addr)); err != nil {
+			return 0, EIO
+		}
+		return binary.BigEndian.Uint32(b[:]), 0
+	case PtPokeText, PtPokeData:
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], data)
+		if _, err := child.AS.WriteAt(b[:], int64(addr)); err != nil {
+			return 0, EIO
+		}
+		return 0, 0
+	case PtPeekUser:
+		return ptUserWord(cl, int(addr/4), false, 0)
+	case PtPokeUser:
+		return ptUserWord(cl, int(addr/4), true, data)
+	case PtCont, PtStep:
+		sig := int(data)
+		if sig < 0 || sig > types.MaxSig {
+			return 0, EINVAL
+		}
+		cl.CurSig = sig // 0 clears the signal; otherwise it is delivered
+		if sig == 0 {
+			// A cleared signal ends this delivery: the next signal gets
+			// fresh stop processing. (Delivering a signal keeps the
+			// bookkeeping so issig does not stop again for it.)
+			cl.sigStopTaken = false
+			cl.ptraceStopTaken = false
+		}
+		cl.ptraceClaim = false
+		cl.recompute()
+		if req == PtStep {
+			cl.CPU.Regs.PSW |= uint32(vcpu.FlagTrace)
+		}
+		return 0, 0
+	case PtKill:
+		k.exitProc(child, statusSignaled(types.SIGKILL, false))
+		return 0, 0
+	}
+	return 0, EINVAL
+}
+
+func ptUserWord(cl *LWP, idx int, write bool, data uint32) (uint32, Errno) {
+	var slot *uint32
+	switch {
+	case idx >= 0 && idx < vcpu.NumRegs:
+		slot = &cl.CPU.Regs.R[idx]
+	case idx == PtUserPC:
+		slot = &cl.CPU.Regs.PC
+	case idx == PtUserSP:
+		slot = &cl.CPU.Regs.SP
+	case idx == PtUserPSW:
+		slot = &cl.CPU.Regs.PSW
+	default:
+		return 0, EIO
+	}
+	if write {
+		*slot = data
+		return 0, 0
+	}
+	return *slot, 0
+}
+
+// PtraceController is the Go-level embodiment of a parent debugging a child
+// with ptrace — the baseline /proc is compared against in the benchmarks.
+// Every operation transfers at most one word, and waiting is entangled with
+// the wait(2)/signal machinery, exactly as the paper laments.
+type PtraceController struct {
+	K *Kernel
+	P *Proc
+	// Ops counts ptrace "system calls" issued, for the efficiency claims.
+	Ops int64
+}
+
+// PtraceAttach marks a process traced as if it had called ptrace(TRACEME)
+// and returns the parent-side controller.
+func (k *Kernel) PtraceAttach(p *Proc) *PtraceController {
+	p.Ptraced = true
+	return &PtraceController{K: k, P: p}
+}
+
+// WaitStop drives the scheduler until the child stops on a signal (the only
+// stop ptrace knows), returning the stopping signal.
+func (c *PtraceController) WaitStop(maxSteps int) (int, error) {
+	c.Ops++ // the wait(2) call
+	cl := c.P.Rep()
+	err := c.K.RunUntil(func() bool {
+		return c.P.state != PAlive || (cl != nil && cl.ptraceClaim)
+	}, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	if c.P.state != PAlive {
+		return 0, fmt.Errorf("ptrace: process %d exited", c.P.Pid)
+	}
+	return cl.what, nil
+}
+
+// Stopped reports whether the child is in a ptrace stop.
+func (c *PtraceController) Stopped() bool {
+	cl := c.P.Rep()
+	return cl != nil && cl.ptraceClaim
+}
+
+func (c *PtraceController) op(req int, addr, data uint32) (uint32, Errno) {
+	c.Ops++
+	cl := c.P.Rep()
+	if c.P.state != PAlive || cl == nil {
+		return 0, ESRCH
+	}
+	if req != PtKill && !cl.ptraceClaim {
+		return 0, ESRCH
+	}
+	return c.K.ptraceOp(cl, req, addr, data)
+}
+
+// PeekText reads one word of the child's memory.
+func (c *PtraceController) PeekText(addr uint32) (uint32, error) {
+	v, e := c.op(PtPeekText, addr, 0)
+	if e != 0 {
+		return 0, e
+	}
+	return v, nil
+}
+
+// PokeText writes one word of the child's memory.
+func (c *PtraceController) PokeText(addr, w uint32) error {
+	if _, e := c.op(PtPokeText, addr, w); e != 0 {
+		return e
+	}
+	return nil
+}
+
+// PeekUser reads one word of the child's register context.
+func (c *PtraceController) PeekUser(idx int) (uint32, error) {
+	v, e := c.op(PtPeekUser, uint32(idx*4), 0)
+	if e != 0 {
+		return 0, e
+	}
+	return v, nil
+}
+
+// PokeUser writes one word of the child's register context.
+func (c *PtraceController) PokeUser(idx int, w uint32) error {
+	if _, e := c.op(PtPokeUser, uint32(idx*4), w); e != 0 {
+		return e
+	}
+	return nil
+}
+
+// Cont resumes the child, delivering sig (0 = clear the signal).
+func (c *PtraceController) Cont(sig int) error {
+	if _, e := c.op(PtCont, 0, uint32(sig)); e != 0 {
+		return e
+	}
+	return nil
+}
+
+// Step resumes the child for one instruction.
+func (c *PtraceController) Step(sig int) error {
+	if _, e := c.op(PtStep, 0, uint32(sig)); e != 0 {
+		return e
+	}
+	return nil
+}
+
+// Kill terminates the child.
+func (c *PtraceController) Kill() error {
+	if _, e := c.op(PtKill, 0, 0); e != 0 {
+		return e
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// The ptrace(2) system call used by simulated programs themselves: a parent
+// debugging its child the 1979 way. The child requests tracing, stops on a
+// signal; the parent's wait(2) reports the stop; the parent peeks a word of
+// the child's data, pokes it, continues the child; the child exits with the
+// poked value, proving the old interface still works — "ptrace is made
+// obsolete by /proc but is still required by the System V Interface
+// Definition".
+func TestPtraceSyscallFromPrograms(t *testing.T) {
+	f := boot(t)
+	p := f.spawn("oldschool", `
+.entry main
+main:
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	; --- child ---
+	movi r0, SYS_ptrace
+	movi r1, 0		; PTRACE_TRACEME
+	syscall
+	movi r0, SYS_getpid
+	syscall
+	mov r6, r0		; my pid
+	movi r0, SYS_kill	; raise SIGTRAP: stop for the parent
+	mov r1, r6
+	movi r2, 5		; SIGTRAP
+	syscall
+	; resumed by the parent: exit with the (poked) cell value
+	la r3, cell
+	ld r1, [r3]
+	movi r0, SYS_exit
+	syscall
+parent:
+	mov r6, r0		; child pid
+	movi r0, SYS_wait	; reports the ptrace stop
+	movi r1, 0
+	syscall
+	; peek the child's cell (expect 17)
+	movi r0, SYS_ptrace
+	movi r1, 1		; PTRACE_PEEKTEXT
+	mov r2, r6
+	la r3, cell
+	syscall
+	mov r7, r0		; peeked value
+	; poke cell = peeked + 25 = 42
+	mov r4, r7
+	addi r4, 25
+	movi r0, SYS_ptrace
+	movi r1, 4		; PTRACE_POKETEXT
+	mov r2, r6
+	la r3, cell
+	syscall			; r4 is the data argument
+	; continue the child, clearing the signal
+	movi r0, SYS_ptrace
+	movi r1, 7		; PTRACE_CONT
+	mov r2, r6
+	movi r3, 0
+	movi r4, 0
+	syscall
+	movi r0, SYS_wait	; reap the child
+	movi r1, 0
+	syscall
+	shr r1, 8		; the child's exit code (42)
+	movi r0, SYS_exit
+	syscall
+.data
+cell:	.word 17
+`, user())
+	status := f.runToExit(p)
+	if ok, code := kernel.WIfExited(status); !ok || code != 42 {
+		t.Fatalf("status = %#x, want the poked 42", status)
+	}
+}
+
+// ptrace requests against processes that are not stopped traced children
+// fail with ESRCH.
+func TestPtraceSyscallPermissions(t *testing.T) {
+	f := boot(t)
+	p := f.spawn("noperm", `
+	movi r0, SYS_ptrace
+	movi r1, 1		; PEEKTEXT of...
+	movi r2, 1		; ...init, not our child
+	movi r3, 0
+	syscall
+	mov r1, r0		; ESRCH
+	movi r0, SYS_exit
+	syscall
+`, user())
+	status := f.runToExit(p)
+	if _, code := kernel.WIfExited(status); code != int(kernel.ESRCH) {
+		t.Fatalf("code = %d, want ESRCH", code)
+	}
+}
+
+// PTRACE_KILL from a simulated parent.
+func TestPtraceKillFromProgram(t *testing.T) {
+	f := boot(t)
+	p := f.spawn("killer", `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_ptrace	; child: TRACEME then stop
+	movi r1, 0
+	syscall
+	movi r0, SYS_getpid
+	syscall
+	mov r6, r0
+	movi r0, SYS_kill
+	mov r1, r6
+	movi r2, 5
+	syscall
+loop:	jmp loop
+parent:
+	mov r6, r0
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_ptrace
+	movi r1, 8		; PTRACE_KILL
+	mov r2, r6
+	syscall
+	movi r0, SYS_wait	; reap: killed by SIGKILL
+	movi r1, 0
+	syscall
+	mov r2, r1
+	movi r3, 0x7F
+	and r2, r3		; termination signal
+	mov r1, r2
+	movi r0, SYS_exit
+	syscall
+`, user())
+	status := f.runToExit(p)
+	if _, code := kernel.WIfExited(status); code != types.SIGKILL {
+		t.Fatalf("termination signal = %d, want SIGKILL", code)
+	}
+}

@@ -1,0 +1,207 @@
+package kernel
+
+import (
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+// runLWP advances one LWP through the kernel entry/exit cycle for up to
+// budget instructions. The stop points of the paper's Figure 3 are the
+// transitions of this machine: system call entry, system call exit, machine
+// faults, and signal receipt on the way back to user level. It returns
+// whether anything ran.
+func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
+	p := l.Proc
+	// A stop, sleep or death reached during this call counts as progress
+	// even when no instruction executed — the state advanced, and waiters
+	// (PIOCWSTOP, poll) must get a chance to observe it.
+	entryPhase, entryState := l.phase, l.state
+	defer func() {
+		if l.phase != entryPhase || l.state != entryState {
+			ran = true
+		}
+	}()
+	for budget > 0 {
+		if l.state == LZombie || !p.Alive() || l.Stopped() || l.sleeping {
+			return ran
+		}
+		switch l.phase {
+		case phUser:
+			// Natural points of control are where the process enters and
+			// leaves the kernel; a pending directive or signal enters it.
+			if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+				if k.issig(l, false) {
+					k.psig(l)
+				}
+				if l.state == LZombie || !p.Alive() || l.Stopped() {
+					return ran
+				}
+			}
+			tr := l.CPU.Step()
+			budget--
+			ran = true
+			k.clock++
+			p.Usage.UserTicks++
+			switch tr.Kind {
+			case vcpu.TrapNone:
+			case vcpu.TrapSyscall:
+				l.sysNum = int(l.CPU.Regs.R[0])
+				l.sysEntryDone = false
+				l.sysExitDone = false
+				l.sysStored = false
+				l.abortSys = false
+				p.Usage.Syscalls++
+				l.phase = phSysEntry
+			case vcpu.TrapFault:
+				if tr.Fault == types.FLTTRACE {
+					// A single step is one instruction; drop the trace bit.
+					l.CPU.Regs.PSW &^= uint32(vcpu.FlagTrace)
+				}
+				l.CurFlt = tr.Fault
+				l.FltAddr = tr.Addr
+				l.fltStopDone = false
+				p.Usage.Faults++
+				l.phase = phFault
+			}
+
+		case phSysEntry:
+			// A stop on system call entry occurs before the system has
+			// fetched the arguments, so a debugger can change them.
+			if !l.sysEntryDone && p.Trace.Entry.Has(l.sysNum) {
+				l.sysEntryDone = true
+				l.stopEvent(WhySysEntry, l.sysNum)
+				return ran
+			}
+			l.sysEntryDone = true
+			for i := 0; i < 5; i++ {
+				l.sysArgs[i] = l.CPU.Regs.R[i+1]
+			}
+			l.sysArgs[5] = 0
+			if l.abortSys {
+				// PRSABORT: go directly to system call exit with EINTR.
+				l.abortSys = false
+				l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
+				l.phase = phSysExit
+				continue
+			}
+			l.phase = phSysRun
+
+		case phSysRun:
+			// Re-entry here after a sleep (or a stop taken while asleep)
+			// re-asks the question, as issig() within an interruptible
+			// sleep does: a delivered signal makes the call fail EINTR; a
+			// requested stop leaves the call undisturbed.
+			if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+				if k.issig(l, true) {
+					l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
+					l.phase = phSysExit
+					continue
+				}
+				if l.state == LZombie || !p.Alive() || l.Stopped() {
+					return ran
+				}
+			}
+			if l.abortSys {
+				l.abortSys = false
+				l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
+				l.phase = phSysExit
+				continue
+			}
+			res := k.dispatch(l)
+			budget--
+			ran = true
+			k.clock++
+			p.Usage.SysTicks++
+			if res.NoReturn {
+				return ran
+			}
+			if res.SleepOn != nil {
+				l.sleep(res.SleepOn)
+				return ran
+			}
+			l.sysRet, l.sysR1, l.sysErr = res.R0, res.R1, res.Err
+			if res.SkipStore {
+				l.sysStored = true
+			}
+			l.phase = phSysExit
+
+		case phSysExit:
+			// Return values are stored before the exit stop, so a debugger
+			// can manufacture whatever values it wishes the process to see.
+			if !l.sysStored {
+				l.storeSysResult()
+				l.sysStored = true
+			}
+			if !l.sysExitDone && p.Trace.Exit.Has(l.sysNum) {
+				l.sysExitDone = true
+				l.stopEvent(WhySysExit, l.sysNum)
+				return ran
+			}
+			if l.suspSaved != nil {
+				l.SigHold = *l.suspSaved
+				l.suspSaved = nil
+			}
+			l.sysNum = 0
+			l.phase = phRetUser
+
+		case phRetUser:
+			// Just before returning to user level:
+			//	if (issig()) psig();
+			if k.issig(l, false) {
+				k.psig(l)
+			}
+			if l.state == LZombie || !p.Alive() || l.Stopped() {
+				return ran
+			}
+			l.phase = phUser
+
+		case phFault:
+			if !l.fltStopDone && p.Trace.Faults.Has(l.CurFlt) {
+				l.fltStopDone = true
+				l.stopEvent(WhyFaulted, l.CurFlt)
+				return ran
+			}
+			flt := l.CurFlt
+			if l.clearFlt {
+				// PRCFAULT: the debugger repaired the cause (e.g. replaced
+				// the breakpoint instruction); re-execute from the same PC.
+				l.clearFlt = false
+				l.CurFlt = 0
+				l.phase = phRetUser
+				continue
+			}
+			l.CurFlt = 0
+			// Otherwise the process is sent a signal, normally SIGTRAP or
+			// SIGILL for breakpoints.
+			if sig := types.FaultSignal(flt); sig != 0 {
+				k.PostSignal(p, sig)
+			}
+			l.phase = phRetUser
+		}
+	}
+	p.Usage.InvolCtx++
+	return ran
+}
+
+// storeSysResult writes the system call results into the saved registers:
+// R0 = return value (or errno), R1 = second return value, with the carry
+// flag signalling error in the System V convention.
+func (l *LWP) storeSysResult() {
+	if l.sysErr != 0 {
+		l.CPU.Regs.R[0] = uint32(l.sysErr)
+		l.CPU.Regs.PSW |= uint32(vcpu.FlagC)
+	} else {
+		l.CPU.Regs.R[0] = l.sysRet
+		l.CPU.Regs.R[1] = l.sysR1
+		l.CPU.Regs.PSW &^= uint32(vcpu.FlagC)
+	}
+}
+
+// dispatch executes the system call the LWP has entered.
+func (k *Kernel) dispatch(l *LWP) sysResult {
+	num := l.sysNum
+	if num < 1 || num > MaxSysNum || sysTable[num].Handler == nil {
+		return rerr(ENOSYS)
+	}
+	return sysTable[num].Handler(k, l)
+}

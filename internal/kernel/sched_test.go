@@ -1,0 +1,125 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// Two CPU-bound processes both make progress under the round-robin
+// scheduler; neither starves.
+func TestSchedulerFairness(t *testing.T) {
+	f := boot(t)
+	prog := `
+loop:	addi r5, 1
+	jmp loop
+`
+	a := f.spawn("spina", prog, user())
+	b := f.spawn("spinb", prog, user())
+	f.K.Run(200)
+	ra := a.Rep().CPU.Regs.R[5]
+	rb := b.Rep().CPU.Regs.R[5]
+	if ra == 0 || rb == 0 {
+		t.Fatalf("starvation: a=%d b=%d", ra, rb)
+	}
+	ratio := float64(ra) / float64(rb)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("unfair: a=%d b=%d", ra, rb)
+	}
+	f.K.PostSignal(a, types.SIGKILL)
+	f.K.PostSignal(b, types.SIGKILL)
+	f.runToExit(a)
+	f.runToExit(b)
+}
+
+// Two LWPs of one process both make progress, and a signal is delivered to
+// an LWP that does not hold it when another does.
+func TestMultiLWPSignalRouting(t *testing.T) {
+	f := boot(t)
+	p := f.spawn("routed", `
+.entry main
+h:	la r3, got
+	movi r4, 1
+	st r4, [r3]
+	movi r0, SYS_sigreturn
+	syscall
+main:
+	movi r0, SYS_signal
+	movi r1, SIGUSR1
+	la r2, h
+	syscall
+	; LWP 1 blocks SIGUSR1
+	movi r0, SYS_sigprocmask
+	movi r1, 1
+	movi r2, 0x8000		; 1 << (SIGUSR1-1)
+	movi r3, 0
+	syscall
+	; create LWP 2 with an open mask
+	movi r0, SYS_mmap
+	movi r1, 0
+	movi r2, 0
+	movhi r2, 1
+	movi r3, 3
+	movi r4, 0
+	syscall
+	mov r6, r0
+	movi r2, 0
+	movhi r2, 1
+	add r6, r2
+	movi r0, SYS_lwp_create
+	la r1, worker
+	mov r2, r6
+	syscall
+	; LWP 1 spins until the handler ran somewhere
+wait:	la r3, got
+	ld r4, [r3]
+	cmpi r4, 1
+	jne wait
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+worker:	jmp worker
+.data
+got:	.word 0
+`, user())
+	if err := f.K.RunUntil(func() bool { return len(p.LiveLWPs()) == 2 }, 500000); err != nil {
+		t.Fatal(err)
+	}
+	f.K.Run(10)
+	f.K.PostSignal(p, types.SIGUSR1)
+	// The signal must be delivered (to LWP 2, which does not hold it), and
+	// the process exits.
+	status := f.runToExit(p)
+	if ok, code := kernel.WIfExited(status); !ok || code != 0 {
+		t.Fatalf("status = %#x", status)
+	}
+	// LWP 1 held the signal the whole time.
+	if !p.LWPs[0].SigHold.Has(types.SIGUSR1) {
+		t.Fatal("lwp 1 hold lost")
+	}
+}
+
+// Quantum configuration is honored: a smaller quantum produces more
+// involuntary context switches for the same work.
+func TestQuantumAffectsSwitches(t *testing.T) {
+	run := func(quantum int) int64 {
+		f := bootWith(t, quantum)
+		p := f.spawn("q", `
+	movi r5, 0
+loop:	addi r5, 1
+	cmpi r5, 2000
+	jne loop
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, user())
+		f.runToExit(p)
+		return p.Usage.InvolCtx
+	}
+	small := run(10)
+	large := run(500)
+	if small <= large {
+		t.Fatalf("switches: quantum10=%d quantum500=%d", small, large)
+	}
+}

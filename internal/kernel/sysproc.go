@@ -1,0 +1,532 @@
+package kernel
+
+import (
+	"repro/internal/mem"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// --- exit / wait ---
+
+func sysExit(k *Kernel, l *LWP) sysResult {
+	k.exitProc(l.Proc, statusExited(int(l.sysArgs[0])))
+	return sysResult{NoReturn: true}
+}
+
+// exitProc terminates a process: the exit(2) path, also reached from psig
+// for fatal signals.
+func (k *Kernel) exitProc(p *Proc, status int) {
+	if p.state != PAlive {
+		return
+	}
+	k.tracef("pid %d exit status %#x", p.Pid, status)
+	p.state = PZombie
+	p.ExitStatus = status
+	for _, l := range p.LWPs {
+		l.state = LZombie
+		l.procClaim, l.jobClaim, l.ptraceClaim = false, false, false
+		l.sleeping = false
+	}
+	for _, f := range p.fds {
+		f.Close()
+	}
+	p.fds = map[int]*vfs.File{}
+	k.finishExit(p)
+}
+
+// finishExit handles the relationships: address space, vfork, children,
+// parent notification.
+func (k *Kernel) finishExit(p *Proc) {
+	if p.AS != nil {
+		p.AS.Unref()
+		p.AS = nil
+	}
+	// A vfork child that exits without exec releases the borrowed space.
+	if p.borrowsAS {
+		p.borrowsAS = false
+		k.wakeAll(&p.vforkQ)
+	}
+	// Reparent children to init. Reparented zombies are reaped immediately,
+	// in the classic style of init.
+	newParent := k.initProc
+	if newParent == p || (newParent != nil && newParent.state != PAlive) {
+		newParent = nil
+	}
+	kids := p.Kids
+	p.Kids = nil
+	for _, kid := range kids {
+		kid.Parent = newParent
+		if newParent != nil {
+			newParent.Kids = append(newParent.Kids, kid)
+		}
+		if kid.state == PZombie {
+			k.reap(kid)
+		}
+	}
+	// Notify the parent.
+	if p.Parent != nil && p.Parent.state == PAlive {
+		parent := p.Parent
+		if parent.Actions[types.SIGCHLD].Handler == SigIGN || parent == k.initProc && !parentWaits(parent) {
+			// SIGCHLD ignored: children do not become zombies.
+			k.reap(p)
+		} else {
+			k.PostSignal(parent, types.SIGCHLD)
+			k.wakeAll(&parent.waitq)
+		}
+	} else {
+		k.reap(p)
+	}
+}
+
+// parentWaits reports whether any LWP of the parent is blocked in wait(2).
+func parentWaits(p *Proc) bool {
+	for _, l := range p.LWPs {
+		if l.sleeping && l.InSyscall() == SysWait {
+			return true
+		}
+	}
+	return false
+}
+
+// reap removes a zombie from the process table.
+func (k *Kernel) reap(p *Proc) {
+	if p.state != PZombie {
+		return
+	}
+	p.state = PGone
+	if p.Parent != nil {
+		kids := p.Parent.Kids[:0]
+		for _, q := range p.Parent.Kids {
+			if q != p {
+				kids = append(kids, q)
+			}
+		}
+		p.Parent.Kids = kids
+	}
+	k.removeProc(p)
+}
+
+func sysWait(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	if len(p.Kids) == 0 {
+		return rerr(ECHILD)
+	}
+	// Zombies first.
+	for _, c := range p.Kids {
+		if c.state == PZombie {
+			pid, status := c.Pid, c.ExitStatus
+			k.reap(c)
+			if addr := l.sysArgs[0]; addr != 0 {
+				if e := k.copyoutWord(l, addr, uint32(status)); e != 0 {
+					return rerr(e)
+				}
+			}
+			return ret2(uint32(pid), uint32(status))
+		}
+	}
+	// Stop reports (ptrace and job control).
+	for _, c := range p.Kids {
+		for _, cl := range c.LWPs {
+			if cl.waitReport != 0 {
+				status := cl.waitReport
+				cl.waitReport = 0
+				if addr := l.sysArgs[0]; addr != 0 {
+					if e := k.copyoutWord(l, addr, uint32(status)); e != 0 {
+						return rerr(e)
+					}
+				}
+				return ret2(uint32(c.Pid), uint32(status))
+			}
+		}
+	}
+	return rsleep(&p.waitq)
+}
+
+// --- fork / vfork ---
+
+func sysFork(k *Kernel, l *LWP) sysResult {
+	child := k.forkProc(l, false)
+	if child == nil {
+		return rerr(EAGAIN)
+	}
+	return ret2(uint32(child.Pid), 0)
+}
+
+func sysVfork(k *Kernel, l *LWP) sysResult {
+	if l.vforkChild == nil {
+		child := k.forkProc(l, true)
+		if child == nil {
+			return rerr(EAGAIN)
+		}
+		l.vforkChild = child
+		return rsleep(&child.vforkQ)
+	}
+	// Woken: the child has exec'd or exited.
+	child := l.vforkChild
+	if child.borrowsAS {
+		return rsleep(&child.vforkQ)
+	}
+	l.vforkChild = nil
+	return ret2(uint32(child.Pid), 0)
+}
+
+// forkProc creates the child process. The child begins life at the exit of
+// the fork system call (with return value 0), so with exit-from-fork traced
+// — the inherit-on-fork arrangement — both parent and child stop on exit
+// from fork and the child has not executed any user-level code, giving the
+// debugger complete control.
+func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
+	p := l.Proc
+	child := &Proc{
+		k:         k,
+		Pid:       k.allocPid(),
+		Parent:    p,
+		Pgrp:      p.Pgrp,
+		Sid:       p.Sid,
+		Cred:      p.Cred.Clone(),
+		Comm:      p.Comm,
+		Args:      append([]string(nil), p.Args...),
+		CWD:       p.CWD,
+		Umask:     p.Umask,
+		Nice:      p.Nice,
+		Start:     k.clock,
+		state:     PAlive,
+		fds:       map[int]*vfs.File{},
+		ExecVN:    p.ExecVN,
+		ExecPath:  p.ExecPath,
+		ImageSyms: p.ImageSyms,
+		Actions:   p.Actions,
+	}
+	if vfork {
+		child.AS = p.AS
+		child.AS.Ref()
+		child.borrowsAS = true
+	} else {
+		child.AS = p.AS.Dup()
+	}
+	// Duplicate the descriptor table: entries share open file descriptions.
+	for fd, f := range p.fds {
+		f.IncRef()
+		child.fds[fd] = f
+	}
+	// The child inherits the parent's tracing flags if inherit-on-fork is
+	// set; otherwise it starts with all tracing flags cleared.
+	if p.Trace.InhFork {
+		child.Trace.Sigs = p.Trace.Sigs
+		child.Trace.Faults = p.Trace.Faults
+		child.Trace.Entry = p.Trace.Entry
+		child.Trace.Exit = p.Trace.Exit
+		child.Trace.InhFork = true
+		child.Trace.RunLC = p.Trace.RunLC
+	}
+	cl := child.newLWP()
+	cl.CPU.Regs = l.CPU.Regs
+	cl.CPU.FP = l.CPU.FP
+	cl.SigHold = l.SigHold
+	// The child resumes at the exit of fork with return value 0.
+	cl.phase = phSysExit
+	cl.sysNum = l.sysNum
+	cl.sysEntryDone = true
+	cl.sysRet, cl.sysR1, cl.sysErr = 0, 1, 0
+	p.Kids = append(p.Kids, child)
+	p.Usage.ForkedKids++
+	k.addProc(child)
+	k.tracef("pid %d forked pid %d (vfork=%v)", p.Pid, child.Pid, child.borrowsAS)
+	return child
+}
+
+// --- identity and credentials ---
+
+func sysGetpid(k *Kernel, l *LWP) sysResult {
+	ppid := 0
+	if l.Proc.Parent != nil {
+		ppid = l.Proc.Parent.Pid
+	}
+	return ret2(uint32(l.Proc.Pid), uint32(ppid))
+}
+
+func sysGetuid(k *Kernel, l *LWP) sysResult {
+	return ret2(uint32(l.Proc.Cred.RUID), uint32(l.Proc.Cred.EUID))
+}
+
+func sysGetgid(k *Kernel, l *LWP) sysResult {
+	return ret2(uint32(l.Proc.Cred.RGID), uint32(l.Proc.Cred.EGID))
+}
+
+func sysSetuid(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	uid := int(l.sysArgs[0])
+	switch {
+	case p.Cred.IsSuper():
+		p.Cred.RUID, p.Cred.EUID, p.Cred.SUID = uid, uid, uid
+	case uid == p.Cred.RUID || uid == p.Cred.SUID:
+		p.Cred.EUID = uid
+	default:
+		return rerr(EPERM)
+	}
+	return ret(0)
+}
+
+func sysSetgid(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	gid := int(l.sysArgs[0])
+	switch {
+	case p.Cred.IsSuper():
+		p.Cred.RGID, p.Cred.EGID, p.Cred.SGID = gid, gid, gid
+	case gid == p.Cred.RGID || gid == p.Cred.SGID:
+		p.Cred.EGID = gid
+	default:
+		return rerr(EPERM)
+	}
+	return ret(0)
+}
+
+func sysGetpgrp(k *Kernel, l *LWP) sysResult { return ret(uint32(l.Proc.Pgrp)) }
+
+func sysSetpgrp(k *Kernel, l *LWP) sysResult {
+	l.Proc.Pgrp = l.Proc.Pid
+	return ret(uint32(l.Proc.Pgrp))
+}
+
+func sysNice(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	incr := int(int32(l.sysArgs[0]))
+	if incr < 0 && !p.Cred.IsSuper() {
+		return rerr(EPERM)
+	}
+	p.Nice += incr
+	if p.Nice < -20 {
+		p.Nice = -20
+	}
+	if p.Nice > 19 {
+		p.Nice = 19
+	}
+	return ret(uint32(p.Nice + 20))
+}
+
+func sysUmask(k *Kernel, l *LWP) sysResult {
+	old := l.Proc.Umask
+	l.Proc.Umask = uint16(l.sysArgs[0]) & 0o777
+	return ret(uint32(old))
+}
+
+// --- time and timers ---
+
+func sysTime(k *Kernel, l *LWP) sysResult { return ret(uint32(k.clock)) }
+
+func sysTimes(k *Kernel, l *LWP) sysResult {
+	u := l.Proc.Usage
+	return ret2(uint32(u.UserTicks), uint32(u.SysTicks))
+}
+
+func sysAlarm(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	var remaining int64
+	if p.alarmAt > k.clock {
+		remaining = p.alarmAt - k.clock
+	}
+	ticks := int64(l.sysArgs[0])
+	if ticks == 0 {
+		p.alarmAt = 0
+	} else {
+		p.alarmAt = k.clock + ticks
+	}
+	return ret(uint32(remaining))
+}
+
+func sysPause(k *Kernel, l *LWP) sysResult {
+	// pause() returns only via a caught signal's EINTR.
+	return rsleep(&l.Proc.pauseQ)
+}
+
+func sysSleep(k *Kernel, l *LWP) sysResult {
+	if l.sleepDeadline == 0 {
+		l.sleepDeadline = k.clock + int64(l.sysArgs[0])
+	}
+	if k.clock >= l.sleepDeadline {
+		l.sleepDeadline = 0
+		return ret(0)
+	}
+	return rsleep(&k.clockQ)
+}
+
+func sysYield(k *Kernel, l *LWP) sysResult { return ret(0) }
+
+// --- signals ---
+
+func sysKill(k *Kernel, l *LWP) sysResult {
+	pid := int(int32(l.sysArgs[0]))
+	sig := int(l.sysArgs[1])
+	if sig < 0 || sig > types.MaxSig {
+		return rerr(EINVAL)
+	}
+	p := l.Proc
+	send := func(t *Proc) Errno {
+		if !p.Cred.IsSuper() && p.Cred.RUID != t.Cred.RUID && p.Cred.EUID != t.Cred.RUID {
+			return EPERM
+		}
+		if sig != 0 {
+			k.PostSignal(t, sig)
+		}
+		return 0
+	}
+	if pid > 0 {
+		t := k.procs[pid]
+		if t == nil || t.state != PAlive {
+			return rerr(ESRCH)
+		}
+		if e := send(t); e != 0 {
+			return rerr(e)
+		}
+		return ret(0)
+	}
+	// pid 0: the sender's process group.
+	found := false
+	for _, t := range k.Procs() {
+		if t.state == PAlive && t.Pgrp == p.Pgrp && !t.System {
+			found = true
+			send(t)
+		}
+	}
+	if !found {
+		return rerr(ESRCH)
+	}
+	return ret(0)
+}
+
+func sysSignal(k *Kernel, l *LWP) sysResult {
+	sig := int(l.sysArgs[0])
+	handler := l.sysArgs[1]
+	if sig < 1 || sig > types.MaxSig || sig == types.SIGKILL || sig == types.SIGSTOP {
+		return rerr(EINVAL)
+	}
+	p := l.Proc
+	old := p.Actions[sig].Handler
+	p.Actions[sig] = SigAction{Handler: handler}
+	return ret(old)
+}
+
+// sigprocmask how values.
+const (
+	SigBlock   = 1
+	SigUnblock = 2
+	SigSetMask = 3
+)
+
+func sysSigmask(k *Kernel, l *LWP) sysResult {
+	how := int(l.sysArgs[0])
+	set := types.SigSet{uint64(l.sysArgs[1]), uint64(l.sysArgs[2])}
+	old := l.SigHold
+	switch how {
+	case SigBlock:
+		l.SigHold = l.SigHold.Union(set)
+	case SigUnblock:
+		l.SigHold = l.SigHold.Minus(set)
+	case SigSetMask:
+		l.SigHold = set
+	default:
+		return rerr(EINVAL)
+	}
+	// SIGKILL and SIGSTOP cannot be held.
+	l.SigHold.Del(types.SIGKILL)
+	l.SigHold.Del(types.SIGSTOP)
+	return ret2(uint32(old[0]), uint32(old[1]))
+}
+
+func sysSigsusp(k *Kernel, l *LWP) sysResult {
+	if l.suspSaved == nil {
+		saved := l.SigHold
+		l.suspSaved = &saved
+		l.SigHold = types.SigSet{uint64(l.sysArgs[0]), uint64(l.sysArgs[1])}
+		l.SigHold.Del(types.SIGKILL)
+		l.SigHold.Del(types.SIGSTOP)
+	}
+	return rsleep(&l.Proc.pauseQ)
+}
+
+func sysSigreturn(k *Kernel, l *LWP) sysResult {
+	if e := k.sigreturnFrame(l); e != 0 {
+		k.exitProc(l.Proc, statusSignaled(types.SIGSEGV, true))
+		return sysResult{NoReturn: true}
+	}
+	return sysResult{SkipStore: true}
+}
+
+// --- memory ---
+
+func sysBrk(k *Kernel, l *LWP) sysResult {
+	if err := l.CPU.AS.Brk(l.sysArgs[0]); err != nil {
+		return rerr(ENOMEM)
+	}
+	return ret(0)
+}
+
+// mmap flag bits (simplified: anonymous memory only).
+const (
+	MapShared = 1
+	MapFixed  = 0x10
+)
+
+func sysMmap(k *Kernel, l *LWP) sysResult {
+	addr, length := l.sysArgs[0], l.sysArgs[1]
+	prot := mem.Prot(l.sysArgs[2] & 7)
+	flags := l.sysArgs[3]
+	if length == 0 {
+		return rerr(EINVAL)
+	}
+	args := mem.MapArgs{
+		Base: addr, Len: length, Prot: prot,
+		Fixed: flags&MapFixed != 0, Kind: mem.KindOther,
+	}
+	if flags&MapShared != 0 {
+		args.Shared = true
+		args.Obj = mem.NewAnon("[shm]", int(l.CPU.AS.PageSize()))
+	}
+	if args.Base == 0 && !args.Fixed {
+		args.Base = 0x40000000 // mmap arena hint
+	}
+	seg, err := l.CPU.AS.Map(args)
+	if err != nil {
+		return rerr(ENOMEM)
+	}
+	return ret(seg.Base)
+}
+
+func sysMunmap(k *Kernel, l *LWP) sysResult {
+	if err := l.CPU.AS.Unmap(l.sysArgs[0], l.sysArgs[1]); err != nil {
+		return rerr(EINVAL)
+	}
+	return ret(0)
+}
+
+func sysMprotect(k *Kernel, l *LWP) sysResult {
+	if err := l.CPU.AS.Mprotect(l.sysArgs[0], l.sysArgs[1], mem.Prot(l.sysArgs[2]&7)); err != nil {
+		return rerr(EACCES)
+	}
+	return ret(0)
+}
+
+// --- LWPs (threads of control) ---
+
+func sysLwpCreate(k *Kernel, l *LWP) sysResult {
+	entry, stackTop := l.sysArgs[0], l.sysArgs[1]
+	if stackTop%4 != 0 {
+		return rerr(EINVAL)
+	}
+	nl := l.Proc.newLWP()
+	nl.CPU.Regs.PC = entry
+	nl.CPU.Regs.SP = stackTop
+	nl.phase = phUser
+	k.tracef("pid %d created lwp %d", l.Proc.Pid, nl.ID)
+	return ret(uint32(nl.ID))
+}
+
+func sysLwpExit(k *Kernel, l *LWP) sysResult {
+	l.state = LZombie
+	if len(l.Proc.LiveLWPs()) == 0 {
+		k.exitProc(l.Proc, statusExited(0))
+	}
+	return sysResult{NoReturn: true}
+}
+
+func sysLwpSelf(k *Kernel, l *LWP) sysResult { return ret(uint32(l.ID)) }

@@ -1,0 +1,174 @@
+package mem
+
+import (
+	"errors"
+
+	"repro/internal/types"
+)
+
+// ErrNotMapped is returned by ReadAt/WriteAt when the starting offset lies in
+// an unmapped area: "I/O operations with a file offset in an unmapped area
+// fail". Operations that merely extend into unmapped areas do not fail but
+// are truncated at the boundary.
+var ErrNotMapped = errors.New("mem: address not mapped")
+
+// CheckAccess validates a CPU access of n bytes at addr needing permissions
+// want. It grows the stack automatically when the reference falls in the
+// stack growth region, and raises FLTWATCH when the access overlaps a traced
+// watchpoint. References to unwatched data that happen to fall in the same
+// page as watched data are recovered transparently (and counted).
+func (as *AS) CheckAccess(addr uint32, n int, want Prot) error {
+	if n <= 0 {
+		return nil
+	}
+	end := uint64(addr) + uint64(n)
+	if end > 1<<32 {
+		return &AccessError{Addr: addr, Fault: types.FLTBOUNDS}
+	}
+	for at := uint64(addr); at < end; {
+		s := as.FindSeg(uint32(at))
+		if s == nil {
+			if as.tryGrowStack(uint32(at)) {
+				continue
+			}
+			return &AccessError{Addr: uint32(at), Fault: types.FLTBOUNDS}
+		}
+		if want&^s.Prot != 0 {
+			return &AccessError{Addr: uint32(at), Fault: types.FLTACCESS}
+		}
+		at = min64(end, s.End())
+	}
+	if want&(ProtRead|ProtWrite) != 0 {
+		if err := as.checkWatch(addr, n, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt implements the /proc read semantics on the address space: data may
+// be transferred from any valid locations; a starting offset in an unmapped
+// area fails; reads extending into unmapped areas are truncated at the
+// boundary. Reads are permitted regardless of mapping permissions (the
+// controlling process may inspect read-protected memory).
+func (as *AS) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 || off >= 1<<32 {
+		return 0, ErrNotMapped
+	}
+	n := 0
+	for n < len(p) {
+		at := uint64(off) + uint64(n)
+		if at >= 1<<32 {
+			break
+		}
+		s := as.FindSeg(uint32(at))
+		if s == nil {
+			break
+		}
+		chunk := int(min64(min64(s.End(), at+uint64(len(p)-n)), as.pageEnd(at)) - at)
+		as.readChunk(s, uint32(at), p[n:n+chunk])
+		n += chunk
+	}
+	if n == 0 {
+		return 0, ErrNotMapped
+	}
+	return n, nil
+}
+
+// WriteAt implements the /proc write semantics: writes to private mappings
+// are satisfied by copy-on-write (writing to one process will not corrupt
+// another process executing the same executable file or shared library);
+// writes to shared mappings go through to the mapped object. A starting
+// offset in an unmapped area fails; writes extending into unmapped areas are
+// truncated at the boundary. This includes writes as well as reads.
+//
+// Permissions are not checked here: the CPU store path checks them with
+// CheckAccess first, while the /proc path deliberately bypasses them so a
+// controlling process can plant breakpoints in read/exec text.
+func (as *AS) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 || off >= 1<<32 {
+		return 0, ErrNotMapped
+	}
+	n := 0
+	for n < len(p) {
+		at := uint64(off) + uint64(n)
+		if at >= 1<<32 {
+			break
+		}
+		s := as.FindSeg(uint32(at))
+		if s == nil {
+			break
+		}
+		chunk := int(min64(min64(s.End(), at+uint64(len(p)-n)), as.pageEnd(at)) - at)
+		if err := as.writeChunk(s, uint32(at), p[n:n+chunk]); err != nil {
+			if n == 0 {
+				return 0, err
+			}
+			break
+		}
+		n += chunk
+	}
+	if n == 0 {
+		return 0, ErrNotMapped
+	}
+	return n, nil
+}
+
+// pageEnd returns the address of the end of the page containing at.
+func (as *AS) pageEnd(at uint64) uint64 {
+	return (at &^ uint64(as.pagesize-1)) + uint64(as.pagesize)
+}
+
+// readChunk copies out data within a single mapping and a single page.
+func (as *AS) readChunk(s *Seg, addr uint32, p []byte) {
+	pb := as.pageBase(addr)
+	if !s.Shared {
+		if pg, ok := s.priv[pb]; ok {
+			copy(p, pg[addr-pb:])
+			return
+		}
+	}
+	if s.Obj != nil {
+		s.Obj.ReadObj(p, s.Off+int64(addr)-int64(s.Base))
+		return
+	}
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// writeChunk stores data within a single mapping and a single page,
+// privatizing the page first for private mappings (copy-on-write).
+func (as *AS) writeChunk(s *Seg, addr uint32, p []byte) error {
+	if s.Shared {
+		if s.Obj == nil {
+			return errors.New("mem: shared mapping without object")
+		}
+		return s.Obj.WriteObj(p, s.Off+int64(addr)-int64(s.Base))
+	}
+	pb := as.pageBase(addr)
+	pg, ok := s.priv[pb]
+	if !ok {
+		pg = make([]byte, as.pagesize)
+		if s.Obj != nil {
+			s.Obj.ReadObj(pg, s.Off+int64(pb)-int64(s.Base))
+			as.Stats.COWFaults++
+		} else {
+			as.Stats.MinorFaults++
+		}
+		s.priv[pb] = pg
+	}
+	copy(pg[addr-pb:], p)
+	return nil
+}
+
+// PrivatePages returns the number of copy-on-write privatized pages in the
+// mapping — observable evidence that breakpoint writes did not touch the
+// underlying object.
+func (s *Seg) PrivatePages() int { return len(s.priv) }

@@ -1,0 +1,103 @@
+package mem
+
+import "repro/internal/types"
+
+// Watch is a data watchpoint: a watched area of any size, down to a single
+// byte, with the access modes that trigger it. This implements the paper's
+// proposed generalized data watchpoint facility, which is based on the VM
+// system's ability to re-map read/write permissions on individual pages: the
+// traced process stops only when a watchpoint really fires, and the system
+// takes care of recovering from machine faults taken due to references to
+// unwatched data that happen to fall in the same page as watched data.
+type Watch struct {
+	Addr uint32 // first watched address
+	Len  uint32 // number of watched bytes (>= 1)
+	Mode Prot   // ProtRead and/or ProtWrite: which accesses trigger
+}
+
+// overlapsAccess reports whether an access of n bytes at addr with modes
+// `want` triggers the watchpoint.
+func (w Watch) overlapsAccess(addr uint32, n int, want Prot) bool {
+	if want&w.Mode == 0 {
+		return false
+	}
+	aEnd := uint64(addr) + uint64(n)
+	wEnd := uint64(w.Addr) + uint64(w.Len)
+	return uint64(addr) < wEnd && aEnd > uint64(w.Addr)
+}
+
+// SetWatch establishes a watchpoint. A zero-length or zero-mode watch is
+// rejected silently by being ignored.
+func (as *AS) SetWatch(addr, length uint32, mode Prot) {
+	if length == 0 || mode&(ProtRead|ProtWrite) == 0 {
+		return
+	}
+	as.watches = append(as.watches, Watch{Addr: addr, Len: length, Mode: mode})
+	as.rebuildWatchPages()
+}
+
+// ClearWatch removes all watchpoints starting at addr.
+func (as *AS) ClearWatch(addr uint32) {
+	out := as.watches[:0]
+	for _, w := range as.watches {
+		if w.Addr != addr {
+			out = append(out, w)
+		}
+	}
+	as.watches = out
+	as.rebuildWatchPages()
+}
+
+// ClearAllWatches removes every watchpoint.
+func (as *AS) ClearAllWatches() {
+	as.watches = nil
+	as.rebuildWatchPages()
+}
+
+// Watches returns the active watchpoints.
+func (as *AS) Watches() []Watch { return append([]Watch(nil), as.watches...) }
+
+func (as *AS) rebuildWatchPages() {
+	as.watchPgs = make(map[uint32]bool)
+	for _, w := range as.watches {
+		for pb := as.pageBase(w.Addr); ; pb += as.pagesize {
+			as.watchPgs[pb] = true
+			if uint64(pb)+uint64(as.pagesize) >= uint64(w.Addr)+uint64(w.Len) {
+				break
+			}
+		}
+	}
+}
+
+// checkWatch implements the page-protection watchpoint model. If the access
+// touches a page containing watched data, the hardware would fault; the
+// system then either reports FLTWATCH (the access really overlaps a watched
+// range with a triggering mode) or transparently recovers and retries (it
+// does not). Recoveries are counted in Stats.WatchRecover: they are the cost
+// the paper's design accepts to watch areas smaller than a page.
+func (as *AS) checkWatch(addr uint32, n int, want Prot) error {
+	if len(as.watches) == 0 {
+		return nil
+	}
+	touched := false
+	end := uint64(addr) + uint64(n)
+	for pb := as.pageBase(addr); uint64(pb) < end; pb += as.pagesize {
+		if as.watchPgs[pb] {
+			touched = true
+			break
+		}
+		if uint64(pb)+uint64(as.pagesize) >= 1<<32 {
+			break
+		}
+	}
+	if !touched {
+		return nil
+	}
+	for _, w := range as.watches {
+		if w.overlapsAccess(addr, n, want) {
+			return &AccessError{Addr: w.Addr, Fault: types.FLTWATCH}
+		}
+	}
+	as.Stats.WatchRecover++
+	return nil
+}

@@ -1,0 +1,483 @@
+package procfs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+	"repro/internal/vfs"
+	"repro/internal/xout"
+)
+
+// T1: round-trip every ioctl operation in the paper's table and the proc(4)
+// set it points at.
+func TestIoctlTable(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("table", `
+loop:	movi r0, SYS_getpid
+	syscall
+	jmp loop
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	// PIOCSTATUS.
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pid != p.Pid || st.PPid != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// PIOCSTOP / PIOCRUN / PIOCWSTOP.
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Flags&kernel.PRIstop == 0 || st.Why != kernel.WhyRequested {
+		t.Fatalf("stop status: %+v", st)
+	}
+	var eset types.SysSet
+	eset.Add(kernel.SysGetpid)
+	if err := f.Ioctl(procfs.PIOCSENTRY, &eset); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Why != kernel.WhySysEntry || st.What != kernel.SysGetpid {
+		t.Fatalf("wstop: %+v", st)
+	}
+	if st.Syscall != kernel.SysGetpid {
+		t.Fatalf("pr_syscall = %d", st.Syscall)
+	}
+
+	// PIOCGENTRY / PIOCSEXIT / PIOCGEXIT / PIOCSTRACE / PIOCGTRACE /
+	// PIOCSFAULT / PIOCGFAULT.
+	var gset types.SysSet
+	if err := f.Ioctl(procfs.PIOCGENTRY, &gset); err != nil || !gset.Has(kernel.SysGetpid) {
+		t.Fatalf("gentry: %v %v", err, gset)
+	}
+	var xset types.SysSet
+	xset.Add(kernel.SysGetpid)
+	if err := f.Ioctl(procfs.PIOCSEXIT, &xset); err != nil {
+		t.Fatal(err)
+	}
+	var gx types.SysSet
+	f.Ioctl(procfs.PIOCGEXIT, &gx)
+	if !gx.Has(kernel.SysGetpid) {
+		t.Fatal("gexit")
+	}
+	var sset types.SigSet
+	sset.Add(types.SIGUSR1)
+	if err := f.Ioctl(procfs.PIOCSTRACE, &sset); err != nil {
+		t.Fatal(err)
+	}
+	var gs types.SigSet
+	f.Ioctl(procfs.PIOCGTRACE, &gs)
+	if !gs.Has(types.SIGUSR1) {
+		t.Fatal("gtrace")
+	}
+	var fset types.FltSet
+	fset.Add(types.FLTBPT)
+	if err := f.Ioctl(procfs.PIOCSFAULT, &fset); err != nil {
+		t.Fatal(err)
+	}
+	var gf types.FltSet
+	f.Ioctl(procfs.PIOCGFAULT, &gf)
+	if !gf.Has(types.FLTBPT) {
+		t.Fatal("gfault")
+	}
+
+	// PIOCGREG / PIOCSREG.
+	var regs vcpu.Regs
+	if err := f.Ioctl(procfs.PIOCGREG, &regs); err != nil {
+		t.Fatal(err)
+	}
+	regs.R[5] = 0xDEAD
+	if err := f.Ioctl(procfs.PIOCSREG, &regs); err != nil {
+		t.Fatal(err)
+	}
+	var regs2 vcpu.Regs
+	f.Ioctl(procfs.PIOCGREG, &regs2)
+	if regs2.R[5] != 0xDEAD {
+		t.Fatal("sreg did not take")
+	}
+
+	// PIOCGFPREG / PIOCSFPREG.
+	var fp vcpu.FPRegs
+	if err := f.Ioctl(procfs.PIOCGFPREG, &fp); err != nil {
+		t.Fatal(err)
+	}
+	fp.F[2] = 3.25
+	if err := f.Ioctl(procfs.PIOCSFPREG, &fp); err != nil {
+		t.Fatal(err)
+	}
+	var fp2 vcpu.FPRegs
+	f.Ioctl(procfs.PIOCGFPREG, &fp2)
+	if fp2.F[2] != 3.25 {
+		t.Fatal("sfpreg did not take")
+	}
+
+	// PIOCSHOLD / PIOCGHOLD (SIGKILL and SIGSTOP silently excluded).
+	var hold types.SigSet
+	hold.Add(types.SIGUSR2)
+	hold.Add(types.SIGKILL)
+	if err := f.Ioctl(procfs.PIOCSHOLD, &hold); err != nil {
+		t.Fatal(err)
+	}
+	var ghold types.SigSet
+	f.Ioctl(procfs.PIOCGHOLD, &ghold)
+	if !ghold.Has(types.SIGUSR2) || ghold.Has(types.SIGKILL) {
+		t.Fatalf("ghold = %v", ghold)
+	}
+
+	// PIOCMAXSIG / PIOCACTION.
+	var maxsig int
+	if err := f.Ioctl(procfs.PIOCMAXSIG, &maxsig); err != nil || maxsig != types.MaxSig {
+		t.Fatalf("maxsig = %d %v", maxsig, err)
+	}
+	var acts []kernel.SigAction
+	if err := f.Ioctl(procfs.PIOCACTION, &acts); err != nil || len(acts) != types.MaxSig+1 {
+		t.Fatalf("action: %v len %d", err, len(acts))
+	}
+
+	// PIOCCRED / PIOCGROUPS.
+	var cred types.Cred
+	if err := f.Ioctl(procfs.PIOCCRED, &cred); err != nil {
+		t.Fatal(err)
+	}
+	if cred.RUID != 100 || cred.RGID != 10 {
+		t.Fatalf("cred = %+v", cred)
+	}
+	var groups []int
+	if err := f.Ioctl(procfs.PIOCGROUPS, &groups); err != nil {
+		t.Fatal(err)
+	}
+
+	// PIOCPSINFO.
+	var info kernel.PSInfo
+	if err := f.Ioctl(procfs.PIOCPSINFO, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Comm != "table" || info.UID != 100 {
+		t.Fatalf("psinfo = %+v", info)
+	}
+
+	// PIOCNICE.
+	incr := 5
+	if err := f.Ioctl(procfs.PIOCNICE, &incr); err != nil {
+		t.Fatal(err)
+	}
+	if p.Nice != 5 {
+		t.Fatalf("nice = %d", p.Nice)
+	}
+
+	// PIOCSFORK / PIOCRFORK / PIOCSRLC / PIOCRRLC.
+	for _, op := range []int{procfs.PIOCSFORK, procfs.PIOCSRLC} {
+		if err := f.Ioctl(op, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Trace.InhFork || !p.Trace.RunLC {
+		t.Fatal("sfork/srlc")
+	}
+	for _, op := range []int{procfs.PIOCRFORK, procfs.PIOCRRLC} {
+		if err := f.Ioctl(op, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Trace.InhFork || p.Trace.RunLC {
+		t.Fatal("rfork/rrlc")
+	}
+
+	// PIOCKILL / PIOCUNKILL / PIOCSSIG.
+	sig := types.SIGUSR2
+	if err := f.Ioctl(procfs.PIOCKILL, &sig); err != nil {
+		t.Fatal(err)
+	}
+	// SIGUSR2 is held (from PIOCSHOLD above) so it stays pending.
+	if !p.SigPend.Has(types.SIGUSR2) {
+		t.Fatal("kill did not pend")
+	}
+	if err := f.Ioctl(procfs.PIOCUNKILL, &sig); err != nil {
+		t.Fatal(err)
+	}
+	if p.SigPend.Has(types.SIGUSR2) {
+		t.Fatal("unkill did not delete")
+	}
+
+	// PIOCGETPR / PIOCGETU (deprecated, implementation-revealing).
+	var pr *kernel.Proc
+	if err := f.Ioctl(procfs.PIOCGETPR, &pr); err != nil || pr != p {
+		t.Fatalf("getpr: %v", err)
+	}
+	var u procfs.UArea
+	if err := f.Ioctl(procfs.PIOCGETU, &u); err != nil || u.CWD != "/" {
+		t.Fatalf("getu: %v %+v", err, u)
+	}
+
+	// PIOCUSAGE.
+	var usage procfs.PrUsage
+	if err := f.Ioctl(procfs.PIOCUSAGE, &usage); err != nil {
+		t.Fatal(err)
+	}
+	if usage.Syscalls == 0 {
+		t.Fatal("usage should show syscalls")
+	}
+
+	// PIOCPGD.
+	var pgd []procfs.PageData
+	if err := f.Ioctl(procfs.PIOCPGD, &pgd); err != nil || len(pgd) == 0 {
+		t.Fatalf("pgd: %v", err)
+	}
+
+	// Unknown command.
+	if err := f.Ioctl(0x7FFF, nil); err != vfs.ErrNoIoctl {
+		t.Fatalf("unknown ioctl: %v", err)
+	}
+
+	// Cleanup: stop tracing so the process can be killed.
+	var empty types.SysSet
+	f.Ioctl(procfs.PIOCSENTRY, &empty)
+	f.Ioctl(procfs.PIOCSEXIT, &empty)
+	var emptySig types.SigSet
+	f.Ioctl(procfs.PIOCSTRACE, &emptySig)
+	var emptyFlt types.FltSet
+	f.Ioctl(procfs.PIOCSFAULT, &emptyFlt)
+}
+
+// Read-only descriptors may inspect but not control.
+func TestReadOnlyDescriptorRestrictions(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("ro", spin, types.UserCred(100, 10))
+	s.Run(2)
+	f := open(t, s, p.Pid, vfs.ORead, types.RootCred())
+	defer f.Close()
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+		t.Fatalf("read-only status: %v", err)
+	}
+	var info kernel.PSInfo
+	if err := f.Ioctl(procfs.PIOCPSINFO, &info); err != nil {
+		t.Fatal(err)
+	}
+	var maps []procfs.PrMap
+	if err := f.Ioctl(procfs.PIOCMAP, &maps); err != nil {
+		t.Fatal(err)
+	}
+	// Control operations are rejected.
+	if err := f.Ioctl(procfs.PIOCSTOP, nil); err != vfs.ErrBadFD {
+		t.Fatalf("stop on read-only fd: %v", err)
+	}
+	var sset types.SigSet
+	if err := f.Ioctl(procfs.PIOCSTRACE, &sset); err != vfs.ErrBadFD {
+		t.Fatalf("strace on read-only fd: %v", err)
+	}
+	if _, err := f.Pwrite([]byte{0}, 0x80000000); err != vfs.ErrBadFD {
+		t.Fatalf("write on read-only fd: %v", err)
+	}
+}
+
+// PIOCOPENM: get a descriptor for the mapped object without its pathname.
+func TestPIOCOPENM(t *testing.T) {
+	s := repro.NewSystem()
+	if err := s.Install("/lib/libsym", `
+fn:	ret
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.SpawnProg("openm", `
+.lib "libsym"
+loop:	jmp loop
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	// nil vaddr: the a.out itself.
+	var om procfs.OpenMap
+	if err := f.Ioctl(procfs.PIOCOPENM, &om); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4)
+	if _, err := om.File.Pread(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "XOUT" {
+		t.Fatalf("a.out magic = %q", data)
+	}
+	om.File.Close()
+
+	// A shared library address: its file, found without a pathname.
+	lib := uint32(xout.LibBase)
+	om = procfs.OpenMap{Vaddr: &lib}
+	if err := f.Ioctl(procfs.PIOCOPENM, &om); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.File.Pread(data, 0); err != nil || string(data) != "XOUT" {
+		t.Fatalf("lib magic = %q, %v", data, err)
+	}
+	// The symbol table of the library is reachable through it.
+	all, _ := s.Client(types.RootCred()).ReadFile("/lib/libsym")
+	sz := om.File
+	buf := make([]byte, len(all))
+	if n, _ := sz.Pread(buf, 0); n != len(all) {
+		t.Fatalf("short read %d of %d", n, len(all))
+	}
+	img, err := xout.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := img.Lookup("fn"); !ok {
+		t.Fatal("library symbol table missing fn")
+	}
+	om.File.Close()
+
+	// An anonymous mapping has no object.
+	st, _ := p.Status()
+	anon := st.StkBase
+	om = procfs.OpenMap{Vaddr: &anon}
+	if err := f.Ioctl(procfs.PIOCOPENM, &om); err == nil {
+		t.Fatal("openm on anonymous mapping should fail")
+	}
+}
+
+// C7: the watchpoint extension through /proc.
+func TestWatchpointThroughProc(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("watched", `
+	la r3, cell
+	movi r4, 0
+loop:	addi r4, 1
+	cmpi r4, 100
+	jne loop
+	movi r5, 42
+	st r5, [r3]		; fires the watchpoint
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+cell:	.word 0
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	syms, _ := p.ImageSyms()
+	var cell uint32
+	for _, sym := range syms {
+		if sym.Name == "cell" {
+			cell = sym.Value
+		}
+	}
+	var fset types.FltSet
+	fset.Add(types.FLTWATCH)
+	if err := f.Ioctl(procfs.PIOCSFAULT, &fset); err != nil {
+		t.Fatal(err)
+	}
+	w := procfs.PrWatch{Vaddr: cell, Size: 4, Mode: mem.ProtWrite}
+	if err := f.Ioctl(procfs.PIOCSWATCH, &w); err != nil {
+		t.Fatal(err)
+	}
+	var ws []procfs.PrWatch
+	if err := f.Ioctl(procfs.PIOCGWATCH, &ws); err != nil || len(ws) != 1 || ws[0].Vaddr != cell {
+		t.Fatalf("gwatch: %v %+v", err, ws)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Why != kernel.WhyFaulted || st.What != types.FLTWATCH {
+		t.Fatalf("stop: %+v", st)
+	}
+	// The traced process stops only when the watchpoint really fires: the
+	// loop's 100 iterations did not stop it. The store has not happened.
+	buf := make([]byte, 4)
+	f.Pread(buf, int64(cell))
+	if buf[3] != 0 {
+		t.Fatal("watched store should not have completed")
+	}
+	// Clear the watchpoint, clear the fault, run to completion.
+	if err := f.Ioctl(procfs.PIOCCWATCH, nil); err != nil {
+		t.Fatal(err)
+	}
+	run := kernel.RunFlags{ClearFault: true}
+	if err := f.Ioctl(procfs.PIOCRUN, &run); err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, code := kernel.WIfExited(status); !ok || code != 0 {
+		t.Fatalf("status = %#x", status)
+	}
+}
+
+// C11 (proposed): poll(2) on /proc file descriptors — wait for any one of a
+// set of controlled processes to stop.
+func TestPollProcFiles(t *testing.T) {
+	s := repro.NewSystem()
+	cred := types.UserCred(100, 10)
+	var files []*vfs.File
+	var procs []*kernel.Proc
+	for i := 0; i < 3; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("poll%d", i), `
+	movi r5, 0
+spin:	addi r5, 1
+	cmpi r5, 300
+	jne spin
+	bpt
+back:	jmp back
+`, cred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+		f := rootOpen(t, s, p.Pid)
+		defer f.Close()
+		var fset types.FltSet
+		fset.Add(types.FLTBPT)
+		if err := f.Ioctl(procfs.PIOCSFAULT, &fset); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	// Poll across all three: one of them hits its breakpoint first.
+	idx, ev, err := vfs.Poll(files, vfs.PollPri, s.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != vfs.PollPri {
+		t.Fatalf("events = %#x", ev)
+	}
+	if procs[idx].EventStoppedLWP() == nil {
+		t.Fatal("polled process is not stopped")
+	}
+	// The others become ready too, eventually.
+	for i := range files {
+		if i == idx {
+			continue
+		}
+		if err := s.RunUntil(func() bool { return files[i].Poll(vfs.PollPri) != 0 }, 200000); err != nil {
+			t.Fatalf("file %d never ready: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package procfs_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Operations on a process that exits while the handle is open fail, except
+// close — and PIOCPSINFO, which works for zombies (ps shows state Z).
+func TestProcessDeathInvalidatesOperations(t *testing.T) {
+	s := repro.NewSystem()
+	// A parent that never waits keeps the child a zombie.
+	parent, err := s.SpawnProg("keeper", `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne spin
+	movi r0, SYS_exit
+	movi r1, 4
+	syscall
+spin:	jmp spin
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var child *kernel.Proc
+	err = s.RunUntil(func() bool {
+		for _, q := range s.K.Procs() {
+			if q.Parent == parent {
+				child = q
+				return true
+			}
+		}
+		return false
+	}, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := open(t, s, child.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	defer f.Close()
+	// Let the child exit while we hold the handle.
+	if err := s.RunUntil(func() bool { return child.Zombie() }, 500000); err != nil {
+		t.Fatal(err)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != vfs.ErrNotExist {
+		t.Fatalf("status on zombie: %v", err)
+	}
+	if _, err := f.Pread(make([]byte, 4), 0x80000000); err != vfs.ErrNotExist {
+		t.Fatalf("read on zombie: %v", err)
+	}
+	// PIOCPSINFO still works and reports Z.
+	var info kernel.PSInfo
+	if err := f.Ioctl(procfs.PIOCPSINFO, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != 'Z' {
+		t.Fatalf("state = %c", info.State)
+	}
+	s.K.PostSignal(parent, types.SIGKILL)
+	s.WaitExit(parent)
+}
+
+// A fully reaped process disappears from /proc entirely.
+func TestReapedProcessGoneFromProc(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("brief", "\tmovi r0, SYS_exit\n\tmovi r1, 0\n\tsyscall\n", types.UserCred(100, 10))
+	pid := p.Pid
+	s.WaitExit(p)
+	s.Run(5)
+	if _, err := s.OpenProc(pid, vfs.ORead, types.RootCred()); err != vfs.ErrNotExist {
+		t.Fatalf("open of reaped pid: %v", err)
+	}
+	ents, _ := s.Client(types.RootCred()).ReadDir("/proc")
+	for _, e := range ents {
+		if e.Name == procfs.PidName(pid) {
+			t.Fatal("reaped pid still listed")
+		}
+	}
+}
+
+// PIOCSSIG sets the current signal: injecting a signal into a stopped
+// process so that, when set running, it acts on it.
+func TestPIOCSSIGInjectsSignal(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("inject", spin, types.UserCred(100, 10))
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	sig := types.SIGTERM
+	if err := f.Ioctl(procfs.PIOCSSIG, &sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, got, _ := kernel.WIfSignaled(status); !ok || got != types.SIGTERM {
+		t.Fatalf("status = %#x, want SIGTERM death", status)
+	}
+}
+
+// PIOCSSIG with zero clears the current signal at a signalled stop.
+func TestPIOCSSIGZeroClears(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("clear", spin, types.UserCred(100, 10))
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	var sigs types.SigSet
+	sigs.Add(types.SIGTERM)
+	if err := f.Ioctl(procfs.PIOCSTRACE, &sigs); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	kill := types.SIGTERM
+	if err := f.Ioctl(procfs.PIOCKILL, &kill); err != nil {
+		t.Fatal(err)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CurSig != types.SIGTERM {
+		t.Fatalf("cursig = %d", st.CurSig)
+	}
+	zero := 0
+	if err := f.Ioctl(procfs.PIOCSSIG, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20)
+	if !p.Alive() {
+		t.Fatal("cleared signal should not kill")
+	}
+	var none types.SigSet
+	f.Ioctl(procfs.PIOCSTRACE, &none)
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}
+
+// Directory attributes and the root vnode.
+func TestProcRootAttributes(t *testing.T) {
+	s := repro.NewSystem()
+	cl := s.Client(types.RootCred())
+	attr, err := cl.Stat("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != vfs.VDIR || attr.Mode != 0o555 {
+		t.Fatalf("attr = %+v", attr)
+	}
+	// /proc itself cannot be opened for writing.
+	if _, err := cl.Open("/proc", vfs.OWrite); err == nil {
+		t.Fatal("writable open of /proc should fail")
+	}
+	// Lookup of junk names fails cleanly.
+	for _, name := range []string{"abc", "-1", "99999"} {
+		if _, err := cl.Stat("/proc/" + name); err != vfs.ErrNotExist {
+			t.Fatalf("lookup %q: %v", name, err)
+		}
+	}
+	// Unpadded decimal names work too ("ls /proc/1").
+	if _, err := cl.Stat("/proc/1"); err != nil {
+		t.Fatalf("unpadded pid: %v", err)
+	}
+}
+
+// The flat file's HPoll is the proposed poll extension.
+func TestProcHandlePollSemantics(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("pollsem", spin, types.UserCred(100, 10))
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	if f.Poll(vfs.PollPri) != 0 {
+		t.Fatal("running process should not be ready")
+	}
+	var st kernel.ProcStatus
+	f.Ioctl(procfs.PIOCSTOP, &st)
+	if f.Poll(vfs.PollPri) != vfs.PollPri {
+		t.Fatal("stopped process should be ready")
+	}
+	if f.Poll(vfs.PollIn) != 0 {
+		t.Fatal("only PollPri signals a stop")
+	}
+	f.Ioctl(procfs.PIOCRUN, nil)
+}
+
+// Writes through /proc respect mapping boundaries exactly like reads —
+// "this includes writes as well as reads".
+func TestWriteTruncationAtBoundary(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("edge", `
+loop:	jmp loop
+`, types.UserCred(100, 10))
+	s.Run(2)
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	// The text mapping is one page; a write straddling its end truncates.
+	seg := p.AS.FindSeg(0x80000000)
+	end := int64(seg.Base) + int64(seg.Len)
+	buf := make([]byte, 64)
+	n, err := f.Pwrite(buf, end-16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("write n = %d, want 16 (truncated at boundary)", n)
+	}
+	n, err = f.Pread(buf, end-16)
+	if err != nil || n != 16 {
+		t.Fatalf("read n = %d err=%v", n, err)
+	}
+}

@@ -1,0 +1,129 @@
+package procfs_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+const twoLWPProg = `
+	movi r0, SYS_mmap
+	movi r1, 0
+	movi r2, 0
+	movhi r2, 1
+	movi r3, 3
+	movi r4, 0
+	syscall
+	mov r6, r0
+	movi r2, 0
+	movhi r2, 1
+	add r6, r2
+	movi r0, SYS_lwp_create
+	la r1, thread
+	mov r2, r6
+	syscall
+main:	jmp main
+thread:	jmp thread
+`
+
+// The flat interface's PIOCSTOP stops the whole process: every LWP.
+func TestFlatStopStopsAllLWPs(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("all", twoLWPProg, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(func() bool { return len(p.LiveLWPs()) == 2 }, 500000); err != nil {
+		t.Fatal(err)
+	}
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Give the second LWP its chance to take the directive too.
+	s.RunUntil(func() bool {
+		for _, l := range p.LiveLWPs() {
+			if !l.Stopped() {
+				return false
+			}
+		}
+		return true
+	}, 500000)
+	for _, l := range p.LiveLWPs() {
+		if !l.Stopped() {
+			t.Fatalf("lwp %d not stopped", l.ID)
+		}
+	}
+	if st.NLWP != 2 {
+		t.Fatalf("status NLWP = %d", st.NLWP)
+	}
+	// PIOCRUN releases the event-stopped one; the other stays until its
+	// own run (the flat interface operates on one representative at a
+	// time, which is the strain multi-threading puts on it).
+	if err := f.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	if second := p.EventStoppedLWP(); second != nil {
+		if err := s.K.RunLWP(second, kernel.RunFlags{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(5)
+	for _, l := range p.LiveLWPs() {
+		if l.Stopped() {
+			t.Fatalf("lwp %d still stopped", l.ID)
+		}
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}
+
+// Every ioctl rejects a wrongly-typed argument with EINVAL instead of
+// panicking — a debugger bug must not take the kernel down.
+func TestIoctlArgTypeRobustness(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("argt", spin, types.UserCred(100, 10))
+	s.Run(2)
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	bad := struct{ X int }{} // never the right type
+	cmds := []int{
+		procfs.PIOCSTRACE, procfs.PIOCGTRACE, procfs.PIOCSFAULT,
+		procfs.PIOCGFAULT, procfs.PIOCSENTRY, procfs.PIOCGENTRY,
+		procfs.PIOCSEXIT, procfs.PIOCGEXIT, procfs.PIOCKILL,
+		procfs.PIOCUNKILL, procfs.PIOCSHOLD, procfs.PIOCGHOLD,
+		procfs.PIOCMAXSIG, procfs.PIOCACTION, procfs.PIOCGREG,
+		procfs.PIOCSREG, procfs.PIOCGFPREG, procfs.PIOCSFPREG,
+		procfs.PIOCNMAP, procfs.PIOCMAP, procfs.PIOCOPENM,
+		procfs.PIOCCRED, procfs.PIOCGROUPS, procfs.PIOCPSINFO,
+		procfs.PIOCNICE, procfs.PIOCGETPR, procfs.PIOCGETU,
+		procfs.PIOCUSAGE, procfs.PIOCSWATCH, procfs.PIOCGWATCH,
+		procfs.PIOCPGD,
+	}
+	for _, cmd := range cmds {
+		if err := f.Ioctl(cmd, &bad); err != vfs.ErrInval {
+			t.Errorf("cmd %#x with bad arg: %v, want ErrInval", cmd, err)
+		}
+	}
+	// Also with a plain nil where an argument is required.
+	for _, cmd := range []int{procfs.PIOCSTRACE, procfs.PIOCKILL, procfs.PIOCSREG} {
+		if err := f.Ioctl(cmd, nil); err != vfs.ErrInval {
+			t.Errorf("cmd %#x with nil arg: %v, want ErrInval", cmd, err)
+		}
+	}
+	// The process is unharmed.
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reg.PC < 0x80000000 {
+		t.Fatal("process state corrupted")
+	}
+}

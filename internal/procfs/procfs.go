@@ -1,0 +1,265 @@
+// Package procfs implements the SVR4 process file system — the paper's
+// central contribution. Every process in the system appears as a file in a
+// directory conventionally named /proc; the name of each entry is a decimal
+// number corresponding to the process id, the owner and group are the
+// process's real user-id and group-id, and the reported size is the total
+// virtual memory size of the process.
+//
+// Standard system call interfaces access the files: open, close, lseek,
+// read, write and ioctl. Data may be transferred from or to any valid
+// locations in the process's address space by applying lseek to position the
+// file at the virtual address of interest followed by read or write.
+// Information and control operations are provided through ioctl.
+//
+// The implementation mirrors the paper's: /proc is an fstype under the VFS —
+// lookups construct vnodes for live processes (prlookup), reading the
+// directory synthesizes entries for every process (preaddir), and
+// read/write/ioctl on a process file turn into address-space I/O and
+// process-control operations (prread/prwrite/prioctl).
+package procfs
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/kernel"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// FS is a /proc file system instance over one kernel.
+type FS struct {
+	K *kernel.Kernel
+	// MaxWait bounds the scheduling work a blocking operation (PIOCSTOP,
+	// PIOCWSTOP) will perform before giving up.
+	MaxWait int
+}
+
+// New creates the file system.
+func New(k *kernel.Kernel) *FS {
+	return &FS{K: k, MaxWait: 5_000_000}
+}
+
+// Root returns the /proc directory vnode, ready to be mounted.
+func (fs *FS) Root() vfs.Dir { return &rootVnode{fs: fs} }
+
+// PidName formats a pid the way /proc names its entries ("00042").
+func PidName(pid int) string { return fmt.Sprintf("%05d", pid) }
+
+// rootVnode is the /proc directory: its contents are synthesized from the
+// process table on every operation, the "fantasy world" of the paper.
+type rootVnode struct{ fs *FS }
+
+// VAttr implements vfs.Vnode.
+func (r *rootVnode) VAttr() (vfs.Attr, error) {
+	return vfs.Attr{
+		Type: vfs.VDIR, Mode: 0o555, UID: 0, GID: 0,
+		Size: int64(len(r.fs.K.Procs())), MTime: r.fs.K.Now(), Nlink: 2,
+	}, nil
+}
+
+// VOpen implements vfs.Vnode; the directory itself carries no handle state.
+func (r *rootVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
+	if flags&vfs.OWrite != 0 {
+		return nil, vfs.ErrIsDir
+	}
+	return nopHandle{}, nil
+}
+
+// VLookup implements vfs.Dir: prlookup searches the process table for the
+// named pid and constructs a vnode for it.
+func (r *rootVnode) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
+	pid, err := strconv.Atoi(name)
+	if err != nil || pid < 0 {
+		return nil, vfs.ErrNotExist
+	}
+	p := r.fs.K.Proc(pid)
+	if p == nil {
+		return nil, vfs.ErrNotExist
+	}
+	return &ProcVnode{FS: r.fs, P: p}, nil
+}
+
+// VReadDir implements vfs.Dir: preaddir examines the system process
+// structures and constructs a set of directory entries naming all the
+// processes in the system.
+func (r *rootVnode) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
+	var out []vfs.Dirent
+	for _, p := range r.fs.K.Procs() {
+		vn := &ProcVnode{FS: r.fs, P: p}
+		attr, _ := vn.VAttr()
+		out = append(out, vfs.Dirent{Name: PidName(p.Pid), Attr: attr})
+	}
+	return out, nil
+}
+
+type nopHandle struct{}
+
+func (nopHandle) HRead(p []byte, off int64) (int, error)  { return 0, vfs.ErrIsDir }
+func (nopHandle) HWrite(p []byte, off int64) (int, error) { return 0, vfs.ErrIsDir }
+func (nopHandle) HIoctl(cmd int, arg interface{}) error   { return vfs.ErrNoIoctl }
+func (nopHandle) HClose() error                           { return nil }
+
+// ProcVnode is the vnode of one process file.
+type ProcVnode struct {
+	FS *FS
+	P  *kernel.Proc
+}
+
+// VAttr implements vfs.Vnode: the owner and group of the file are the
+// process's real user-id and group-id, and the size is the total virtual
+// memory size (system processes such as 0 and 2 have no user-level address
+// space, so their sizes are zero).
+func (v *ProcVnode) VAttr() (vfs.Attr, error) {
+	return vfs.Attr{
+		Type: vfs.VPROC, Mode: 0o600,
+		UID: v.P.Cred.RUID, GID: v.P.Cred.RGID,
+		Size: v.P.VirtSize(), MTime: v.FS.K.Now(), Nlink: 1,
+	}, nil
+}
+
+// VOpen implements vfs.Vnode. Permission to open is more restrictive than
+// traditional file system permissions: both the uid and gid of the traced
+// process must match those of the controlling process; set-id processes can
+// be opened only by the super-user. A /proc file may be opened for exclusive
+// read/write use with O_EXCL; read-only opens are unaffected by exclusivity.
+func (v *ProcVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
+	p := v.P
+	if p.State() == kernel.PGone {
+		return nil, vfs.ErrNotExist
+	}
+	if !c.IsSuper() {
+		if p.SugidDirty {
+			return nil, vfs.ErrPerm
+		}
+		if c.EUID != p.Cred.RUID || c.EGID != p.Cred.RGID {
+			return nil, vfs.ErrPerm
+		}
+	}
+	writer := flags&vfs.OWrite != 0
+	if writer {
+		if p.Trace.Excl {
+			return nil, vfs.ErrBusy
+		}
+		if flags&vfs.OExcl != 0 {
+			if p.Trace.Writers > 0 {
+				return nil, vfs.ErrBusy
+			}
+			p.Trace.Excl = true
+		}
+		p.Trace.Writers++
+	}
+	return &Handle{
+		fs: v.FS, p: p, flags: flags, gen: p.Trace.Gen,
+		excl: writer && flags&vfs.OExcl != 0,
+	}, nil
+}
+
+var _ vfs.Vnode = (*ProcVnode)(nil)
+
+// Handle is the open state of a process file.
+type Handle struct {
+	fs     *FS
+	p      *kernel.Proc
+	flags  int
+	gen    int
+	excl   bool
+	closed bool
+}
+
+// valid checks the handle before an operation. When a traced process execs a
+// set-id file, previously-opened descriptors become invalid: no further
+// operation succeeds except close.
+func (h *Handle) valid() error {
+	if h.closed {
+		return vfs.ErrBadFD
+	}
+	if h.gen != h.p.Trace.Gen {
+		return vfs.ErrStale
+	}
+	if !h.p.Alive() {
+		return vfs.ErrNotExist
+	}
+	return nil
+}
+
+// HRead implements vfs.Handle: reads the process address space at the
+// virtual address given by the file offset.
+func (h *Handle) HRead(b []byte, off int64) (int, error) {
+	if err := h.valid(); err != nil {
+		return 0, err
+	}
+	if h.p.AS == nil {
+		return 0, vfs.ErrInval
+	}
+	n, err := h.p.AS.ReadAt(b, off)
+	if err != nil {
+		return 0, vfs.Errorf("procfs: read at unmapped offset %#x", off)
+	}
+	return n, nil
+}
+
+// HWrite implements vfs.Handle: writes the process address space. Writes to
+// MAP_PRIVATE mappings (including read/exec text) are satisfied by
+// copy-on-write, so planting breakpoints corrupts neither the executable
+// file nor other processes running the same code.
+func (h *Handle) HWrite(b []byte, off int64) (int, error) {
+	if err := h.valid(); err != nil {
+		return 0, err
+	}
+	if h.flags&vfs.OWrite == 0 {
+		return 0, vfs.ErrBadFD
+	}
+	if h.p.AS == nil {
+		return 0, vfs.ErrInval
+	}
+	n, err := h.p.AS.WriteAt(b, off)
+	if err != nil {
+		return 0, vfs.Errorf("procfs: write at unmapped offset %#x", off)
+	}
+	return n, nil
+}
+
+// HClose implements vfs.Handle. With run-on-last-close set, when the last
+// writable descriptor is closed all tracing flags are cleared and the
+// process, if stopped, is set running — so a controlled process is released
+// even if its controller is killed with SIGKILL.
+func (h *Handle) HClose() error {
+	if h.closed {
+		return vfs.ErrBadFD
+	}
+	h.closed = true
+	p := h.p
+	stale := h.gen != p.Trace.Gen
+	if h.flags&vfs.OWrite != 0 && !stale {
+		if h.excl {
+			p.Trace.Excl = false
+		}
+		if p.Trace.Writers > 0 {
+			p.Trace.Writers--
+		}
+		if p.Trace.Writers == 0 && p.Trace.RunLC && p.Alive() {
+			h.fs.K.ReleaseTracing(p)
+		}
+	}
+	return nil
+}
+
+// HPoll implements vfs.Poller — the paper's proposed extension: a /proc file
+// descriptor is "ready" (exceptional condition) when the process is stopped
+// on an event of interest, so a debugger can wait for any one of a set of
+// controlled processes with poll(2).
+func (h *Handle) HPoll(mask int) int {
+	if h.closed || !h.p.Alive() {
+		return 0
+	}
+	if mask&vfs.PollPri != 0 && h.p.EventStoppedLWP() != nil {
+		return vfs.PollPri
+	}
+	return 0
+}
+
+var (
+	_ vfs.Handle = (*Handle)(nil)
+	_ vfs.Poller = (*Handle)(nil)
+)

@@ -1,0 +1,471 @@
+package procfs_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+	"repro/internal/vfs"
+)
+
+const spin = `
+loop:	jmp loop
+`
+
+func open(t *testing.T, s *repro.System, pid int, flags int, cred types.Cred) *vfs.File {
+	t.Helper()
+	f, err := s.OpenProc(pid, flags, cred)
+	if err != nil {
+		t.Fatalf("open /proc/%05d: %v", pid, err)
+	}
+	return f
+}
+
+func rootOpen(t *testing.T, s *repro.System, pid int) *vfs.File {
+	return open(t, s, pid, vfs.ORead|vfs.OWrite, types.RootCred())
+}
+
+// --- Figure 1: a sample /proc directory ---
+
+func TestFigure1Listing(t *testing.T) {
+	s := repro.NewSystem()
+	// A couple of user processes under different uids, like the figure.
+	if _, err := s.SpawnProg("weather", spin, types.UserCred(205, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SpawnProg("shell", spin, types.UserCred(101, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+
+	ents, err := s.Client(types.RootCred()).ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]vfs.Attr{}
+	for _, e := range ents {
+		byName[e.Name] = e.Attr
+	}
+	// The name of each entry is a decimal number corresponding to the pid.
+	if _, ok := byName["00000"]; !ok {
+		t.Fatal("no entry for process 0")
+	}
+	if _, ok := byName["00001"]; !ok {
+		t.Fatal("no entry for init")
+	}
+	if _, ok := byName["00002"]; !ok {
+		t.Fatal("no entry for process 2")
+	}
+	// System processes have no user-level address space: size 0.
+	if byName["00000"].Size != 0 || byName["00002"].Size != 0 {
+		t.Fatal("system process sizes should be 0")
+	}
+	// init is a real program: nonzero size.
+	if byName["00001"].Size == 0 {
+		t.Fatal("init size should be nonzero")
+	}
+	// Owner and group are the real ids; mode prints as -rw-------.
+	for name, attr := range byName {
+		if attr.Type != vfs.VPROC {
+			t.Fatalf("%s: type %v", name, attr.Type)
+		}
+		if got := vfs.FmtMode(attr.Mode); got != "rw-------" {
+			t.Fatalf("%s: mode %s", name, got)
+		}
+	}
+	// Find the weather process entry and check ownership.
+	found := false
+	for name, attr := range byName {
+		var pid int
+		fmt.Sscanf(name, "%d", &pid)
+		p := s.K.Proc(pid)
+		if p != nil && p.Comm == "weather" {
+			found = true
+			if attr.UID != 205 || attr.GID != 20 {
+				t.Fatalf("weather owned by %d/%d", attr.UID, attr.GID)
+			}
+			if attr.Size != p.VirtSize() || attr.Size == 0 {
+				t.Fatalf("weather size %d", attr.Size)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("weather process not listed")
+	}
+}
+
+// --- Figure 2: a typical memory map ---
+
+func TestFigure2MemoryMap(t *testing.T) {
+	s := repro.NewSystem()
+	// Install a shared library and a program using it, with initialized
+	// data and bss — the ingredients of the figure's map.
+	if err := s.Install("/lib/libdemo", `
+libfn:	ret
+.data
+libdata: .word 1, 2, 3
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.SpawnProg("mapped", `
+.lib "libdemo"
+loop:	jmp loop
+.data
+greet:	.ascii "data!"
+.bss
+scratch: .space 8192
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+	var n int
+	if err := f.Ioctl(procfs.PIOCNMAP, &n); err != nil {
+		t.Fatal(err)
+	}
+	var maps []procfs.PrMap
+	if err := f.Ioctl(procfs.PIOCMAP, &maps); err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != n {
+		t.Fatalf("PIOCNMAP %d != len(PIOCMAP) %d", n, len(maps))
+	}
+	// Expect: text (read/exec), data (rw), break (rw), stack (rw),
+	// shlib text (read/exec), shlib data (rw) = 6 mappings.
+	kinds := map[mem.SegKind]*procfs.PrMap{}
+	for i := range maps {
+		kinds[maps[i].Kind] = &maps[i]
+	}
+	text := kinds[mem.KindText]
+	if text == nil || text.Prot != mem.ProtRX || text.Vaddr != 0x80000000 {
+		t.Fatalf("text mapping wrong: %+v", text)
+	}
+	if text.Shared {
+		t.Fatal("text must be MAP_PRIVATE — that is what makes breakpoints safe")
+	}
+	data := kinds[mem.KindData]
+	if data == nil || data.Prot != mem.ProtRW {
+		t.Fatalf("data mapping wrong: %+v", data)
+	}
+	if kinds[mem.KindBreak] == nil || kinds[mem.KindStack] == nil {
+		t.Fatal("break and stack mappings appear in the list despite the disclaimers")
+	}
+	lt := kinds[mem.KindShlibText]
+	if lt == nil || lt.Vaddr < 0xC0000000 || lt.Prot != mem.ProtRX {
+		t.Fatalf("shared library text wrong: %+v", lt)
+	}
+	if kinds[mem.KindShlibData] == nil {
+		t.Fatal("shared library data missing")
+	}
+	if !strings.Contains(text.Name, "/bin/mapped") {
+		t.Fatalf("text object name %q", text.Name)
+	}
+}
+
+// --- address space I/O ---
+
+func TestAddressSpaceIO(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("target", `
+loop:	jmp loop
+.data
+blob:	.ascii "0123456789"
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+		t.Fatal(err)
+	}
+	// lseek to the virtual address of interest, then read.
+	syms, _ := p.ImageSyms()
+	var blob uint32
+	for _, sym := range syms {
+		if sym.Name == "blob" {
+			blob = sym.Value
+		}
+	}
+	if blob == 0 {
+		t.Fatal("no blob symbol")
+	}
+	if _, err := f.Seek(int64(blob), vfs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "0123456789" {
+		t.Fatalf("read %q", buf)
+	}
+	// Write through /proc and read back.
+	if _, err := f.Pwrite([]byte("XY"), int64(blob)); err != nil {
+		t.Fatal(err)
+	}
+	f.Pread(buf, int64(blob))
+	if string(buf[:2]) != "XY" {
+		t.Fatalf("write did not take: %q", buf)
+	}
+	// I/O at an unmapped offset fails.
+	if _, err := f.Pread(buf, 0x100); err == nil {
+		t.Fatal("read of unmapped area should fail")
+	}
+	if _, err := f.Pwrite(buf, 0x100); err == nil {
+		t.Fatal("write of unmapped area should fail")
+	}
+}
+
+// C8: a breakpoint planted through /proc is isolated by copy-on-write from
+// the executable file and from other processes running the same program.
+func TestBreakpointCOWIsolation(t *testing.T) {
+	s := repro.NewSystem()
+	cred := types.UserCred(100, 10)
+	if err := s.Install("/bin/shared", spin, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.Spawn("/bin/shared", nil, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Spawn("/bin/shared", nil, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+
+	f1 := rootOpen(t, s, p1.Pid)
+	defer f1.Close()
+	// Plant a breakpoint in p1's (read/exec) text.
+	w := vcpu.BreakpointWord
+	bp := []byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)}
+	if _, err := f1.Pwrite(bp, 0x80000000); err != nil {
+		t.Fatalf("breakpoint write failed: %v", err)
+	}
+	// Visible in p1.
+	got := make([]byte, 4)
+	f1.Pread(got, 0x80000000)
+	if got[0] != bp[0] {
+		t.Fatal("breakpoint not visible in p1")
+	}
+	// Invisible in p2.
+	f2 := rootOpen(t, s, p2.Pid)
+	defer f2.Close()
+	f2.Pread(got, 0x80000000)
+	if got[0] == bp[0] {
+		t.Fatal("breakpoint leaked into p2's address space")
+	}
+	// And the executable file itself is unchanged.
+	data, err := s.Client(types.RootCred()).ReadFile("/bin/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data[len(data)-8:]), string(bp)) {
+		t.Fatal("suspicious: check file content")
+	}
+	obj, _ := s.FS.Object("/bin/shared")
+	hdr := make([]byte, 4)
+	obj.ReadObj(hdr, obj.ObjSize()-4) // last word is text+data region
+	// Stronger check: p1's text segment has a private page, the file none.
+	if p1.AS.FindSeg(0x80000000).PrivatePages() != 1 {
+		t.Fatal("expected exactly one privatized page in p1's text")
+	}
+	if p2.AS.FindSeg(0x80000000).PrivatePages() != 0 {
+		t.Fatal("p2's text should have no privatized pages")
+	}
+}
+
+// --- security (C10 among others) ---
+
+func TestOpenSecurity(t *testing.T) {
+	s := repro.NewSystem()
+	owner := types.UserCred(100, 10)
+	p, err := s.SpawnProg("victim", spin, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	// Owner can open.
+	f := open(t, s, p.Pid, vfs.ORead|vfs.OWrite, owner)
+	f.Close()
+	// A different uid cannot.
+	if _, err := s.OpenProc(p.Pid, vfs.ORead, types.UserCred(200, 10)); err != vfs.ErrPerm {
+		t.Fatalf("foreign uid open: %v", err)
+	}
+	// Same uid, different gid cannot (both must match).
+	if _, err := s.OpenProc(p.Pid, vfs.ORead, types.UserCred(100, 99)); err != vfs.ErrPerm {
+		t.Fatalf("foreign gid open: %v", err)
+	}
+	// Root can always open.
+	open(t, s, p.Pid, vfs.ORead|vfs.OWrite, types.RootCred()).Close()
+}
+
+func TestSetuidProcessRequiresRoot(t *testing.T) {
+	s := repro.NewSystem()
+	// A setuid-root executable spawned by a user.
+	if err := s.Install("/bin/su", spin, 0o4755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	user := types.UserCred(100, 10)
+	p, err := s.Spawn("/bin/su", nil, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	if !p.SugidDirty {
+		t.Fatal("setup: process should be set-id")
+	}
+	if _, err := s.OpenProc(p.Pid, vfs.ORead, user); err != vfs.ErrPerm {
+		t.Fatalf("set-id open by user: %v", err)
+	}
+	open(t, s, p.Pid, vfs.ORead, types.RootCred()).Close()
+}
+
+func TestExclusiveOpen(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("excl", spin, types.UserCred(100, 10))
+	s.Run(2)
+	f1 := open(t, s, p.Pid, vfs.ORead|vfs.OWrite|vfs.OExcl, types.RootCred())
+	// Another writer collides.
+	if _, err := s.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred()); err != vfs.ErrBusy {
+		t.Fatalf("second writer: %v", err)
+	}
+	// Read-only opens are unaffected.
+	ro := open(t, s, p.Pid, vfs.ORead, types.RootCred())
+	ro.Close()
+	f1.Close()
+	// After the exclusive close, writers may open again.
+	open(t, s, p.Pid, vfs.ORead|vfs.OWrite, types.RootCred()).Close()
+}
+
+// C10: when a traced process execs a set-id file, the set-id is honored but
+// the control descriptor becomes invalid; only close works. The process is
+// directed to stop with run-on-last-close set, so a privileged controller
+// can reopen to retain control, while closing releases it.
+func TestSetIDExecInvalidation(t *testing.T) {
+	s := repro.NewSystem()
+	if err := s.Install("/bin/suprog", spin, 0o4755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	user := types.UserCred(100, 10)
+	p, err := s.SpawnProg("execsu", `
+	movi r0, SYS_exec
+	la r1, path
+	syscall
+loop:	jmp loop
+.data
+path:	.asciz "/bin/suprog"
+`, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := open(t, s, p.Pid, vfs.ORead|vfs.OWrite, user)
+	// Trace something so we are a real controller, then let it exec.
+	var eset types.SysSet
+	eset.Add(kernel.SysGetpid)
+	if err := f.Ioctl(procfs.PIOCSENTRY, &eset); err != nil {
+		t.Fatal(err)
+	}
+	err = s.RunUntil(func() bool { return p.SugidDirty }, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The descriptor is now invalid: no further operation succeeds...
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTATUS, &st); err != vfs.ErrStale {
+		t.Fatalf("ioctl on stale fd: %v", err)
+	}
+	if _, err := f.Pread(make([]byte, 4), 0x80000000); err != vfs.ErrStale {
+		t.Fatalf("read on stale fd: %v", err)
+	}
+	// ...and the process was directed to stop with run-on-last-close set.
+	if !p.Trace.RunLC {
+		t.Fatal("run-on-last-close should be set")
+	}
+	if err := s.RunUntil(func() bool { return p.EventStoppedLWP() != nil }, 200000); err != nil {
+		t.Fatalf("process did not stop: %v", err)
+	}
+	// A privileged controller can reopen and retain control.
+	g := open(t, s, p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	if err := g.Ioctl(procfs.PIOCSTATUS, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Just closing the descriptors clears tracing and sets it running.
+	if err := f.Close(); err != nil {
+		t.Fatalf("close of stale fd must succeed: %v", err)
+	}
+	g.Close()
+	s.Run(5)
+	if p.EventStoppedLWP() != nil {
+		t.Fatal("process should be running after last close")
+	}
+	if !p.Trace.Empty() {
+		t.Fatal("tracing flags should be cleared")
+	}
+}
+
+func TestRunOnLastClose(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("rlc", spin, types.UserCred(100, 10))
+	f := rootOpen(t, s, p.Pid)
+	if err := f.Ioctl(procfs.PIOCSRLC, nil); err != nil {
+		t.Fatal(err)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Flags&kernel.PRStopped == 0 || st.Flags&kernel.PRRlc == 0 {
+		t.Fatalf("flags = %#x", st.Flags)
+	}
+	// The controller "dies": closing the last writable fd releases the
+	// stopped process and clears all tracing flags.
+	f.Close()
+	s.Run(5)
+	if p.Rep().Stopped() {
+		t.Fatal("process should have been set running on last close")
+	}
+	if !p.Trace.Empty() {
+		t.Fatal("tracing flags should be cleared on last close")
+	}
+}
+
+// Without run-on-last-close, tracing flags remain active after close so the
+// process can be left hanging and reattached later.
+func TestTracingSurvivesCloseWithoutRLC(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("hang", spin, types.UserCred(100, 10))
+	f := rootOpen(t, s, p.Pid)
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s.Run(5)
+	if !p.Rep().Stopped() {
+		t.Fatal("process should remain stopped (left hanging)")
+	}
+	// Reattach and release.
+	g := rootOpen(t, s, p.Pid)
+	if err := g.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	s.Run(5)
+	if p.Rep().Stopped() {
+		t.Fatal("reattached run failed")
+	}
+}

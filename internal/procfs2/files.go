@@ -1,0 +1,251 @@
+package procfs2
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// fileVnode is one status or control file within a process (or LWP)
+// directory.
+type fileVnode struct {
+	fs   *FS
+	p    *kernel.Proc
+	l    *kernel.LWP // nil for process-level files
+	name string
+}
+
+// writable reports whether this file is a control surface.
+func (v *fileVnode) writable() bool {
+	return v.name == FileCtl || v.name == FileLWPCtl || v.name == FileAS
+}
+
+// VAttr implements vfs.Vnode.
+func (v *fileVnode) VAttr() (vfs.Attr, error) {
+	mode := uint16(0o400)
+	if v.writable() {
+		mode = 0o200
+		if v.name == FileAS {
+			mode = 0o600
+		}
+	}
+	size := int64(0)
+	if v.name == FileAS {
+		size = v.p.VirtSize()
+	}
+	return vfs.Attr{Type: vfs.VPROC, Mode: mode,
+		UID: v.p.Cred.RUID, GID: v.p.Cred.RGID,
+		Size: size, MTime: v.fs.K.Now(), Nlink: 1}, nil
+}
+
+// VOpen implements vfs.Vnode, with the same security rule and writer
+// accounting as the flat interface, so run-on-last-close and set-id exec
+// invalidation behave identically across the two interfaces.
+func (v *fileVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
+	p := v.p
+	if p.State() == kernel.PGone {
+		return nil, vfs.ErrNotExist
+	}
+	if err := checkOpen(p, c); err != nil {
+		return nil, err
+	}
+	writer := flags&vfs.OWrite != 0
+	if writer && !v.writable() {
+		return nil, vfs.ErrPerm
+	}
+	if v.name == FileCtl || v.name == FileLWPCtl {
+		// Control files are write-only.
+		if !writer || flags&vfs.ORead != 0 {
+			return nil, vfs.ErrPerm
+		}
+	}
+	if writer {
+		if p.Trace.Excl {
+			return nil, vfs.ErrBusy
+		}
+		if flags&vfs.OExcl != 0 {
+			if p.Trace.Writers > 0 {
+				return nil, vfs.ErrBusy
+			}
+			p.Trace.Excl = true
+		}
+		p.Trace.Writers++
+	}
+	return &fileHandle{
+		v: v, flags: flags, gen: p.Trace.Gen,
+		excl: writer && flags&vfs.OExcl != 0,
+	}, nil
+}
+
+// fileHandle is the open state of one status/control file.
+type fileHandle struct {
+	v      *fileVnode
+	flags  int
+	gen    int
+	excl   bool
+	closed bool
+}
+
+func (h *fileHandle) valid() error {
+	if h.closed {
+		return vfs.ErrBadFD
+	}
+	if h.gen != h.v.p.Trace.Gen {
+		return vfs.ErrStale
+	}
+	if !h.v.p.Alive() {
+		return vfs.ErrNotExist
+	}
+	return nil
+}
+
+// snapshot produces the current contents of a read-only status file.
+func (h *fileHandle) snapshot() ([]byte, error) {
+	p := h.v.p
+	switch h.v.name {
+	case FileStatus:
+		st, err := p.Status()
+		if err != nil {
+			return nil, vfs.ErrNotExist
+		}
+		return EncodeStatus(st), nil
+	case FileLWPStatus:
+		return EncodeStatus(h.v.l.LWPStatus()), nil
+	case FilePSInfo:
+		return EncodePSInfo(p.PSInfo()), nil
+	case FileMap:
+		var entries []MapEntry
+		if p.AS != nil {
+			for _, s := range p.AS.Segs() {
+				entries = append(entries, MapEntry{
+					Vaddr: s.Base, Size: s.Len, Off: s.Off,
+					Prot: uint32(s.Prot), Shared: s.Shared,
+					Kind: int32(s.Kind), Name: s.ObjName(),
+				})
+			}
+		}
+		return EncodeMap(entries), nil
+	case FileCred:
+		return EncodeCred(p.Credentials()), nil
+	case FileUsage:
+		var minor, cow, watch, grow int64
+		if p.AS != nil {
+			minor = p.AS.Stats.MinorFaults
+			cow = p.AS.Stats.COWFaults
+			watch = p.AS.Stats.WatchRecover
+			grow = p.AS.Stats.GrowStack
+		}
+		return EncodeUsage(p.Usage, minor, cow, watch, grow), nil
+	}
+	return nil, vfs.ErrInval
+}
+
+// HRead implements vfs.Handle. Status files return a snapshot taken at
+// offset zero; the as file reads the address space at the offset.
+func (h *fileHandle) HRead(b []byte, off int64) (int, error) {
+	// psinfo works on zombies, like PIOCPSINFO.
+	if h.v.name == FilePSInfo {
+		if h.closed {
+			return 0, vfs.ErrBadFD
+		}
+	} else if err := h.valid(); err != nil {
+		return 0, err
+	}
+	switch h.v.name {
+	case FileCtl, FileLWPCtl:
+		return 0, vfs.ErrBadFD
+	case FileAS:
+		if h.v.p.AS == nil {
+			return 0, vfs.ErrInval
+		}
+		n, err := h.v.p.AS.ReadAt(b, off)
+		if err != nil {
+			return 0, vfs.Errorf("procfs2: as read at unmapped offset %#x", off)
+		}
+		return n, nil
+	}
+	snap, err := h.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(snap)) {
+		return 0, vfs.EOF
+	}
+	return copy(b, snap[off:]), nil
+}
+
+// HWrite implements vfs.Handle: control messages for ctl files, address
+// space stores for the as file.
+func (h *fileHandle) HWrite(b []byte, off int64) (int, error) {
+	if err := h.valid(); err != nil {
+		return 0, err
+	}
+	if h.flags&vfs.OWrite == 0 {
+		return 0, vfs.ErrBadFD
+	}
+	switch h.v.name {
+	case FileCtl:
+		return h.v.fs.runCtl(h.v.p, nil, b)
+	case FileLWPCtl:
+		return h.v.fs.runCtl(h.v.p, h.v.l, b)
+	case FileAS:
+		if h.v.p.AS == nil {
+			return 0, vfs.ErrInval
+		}
+		n, err := h.v.p.AS.WriteAt(b, off)
+		if err != nil {
+			return 0, vfs.Errorf("procfs2: as write at unmapped offset %#x", off)
+		}
+		return n, nil
+	}
+	return 0, vfs.ErrBadFD
+}
+
+// HIoctl implements vfs.Handle: there are no ioctls in the restructured
+// interface — that is its point.
+func (h *fileHandle) HIoctl(cmd int, arg interface{}) error { return vfs.ErrNoIoctl }
+
+// HClose implements vfs.Handle with the run-on-last-close behavior.
+func (h *fileHandle) HClose() error {
+	if h.closed {
+		return vfs.ErrBadFD
+	}
+	h.closed = true
+	p := h.v.p
+	stale := h.gen != p.Trace.Gen
+	if h.flags&vfs.OWrite != 0 && !stale {
+		if h.excl {
+			p.Trace.Excl = false
+		}
+		if p.Trace.Writers > 0 {
+			p.Trace.Writers--
+		}
+		if p.Trace.Writers == 0 && p.Trace.RunLC && p.Alive() {
+			h.v.fs.K.ReleaseTracing(p)
+		}
+	}
+	return nil
+}
+
+// HPoll implements vfs.Poller: ready on an event-of-interest stop. For LWP
+// files, ready when that LWP stops.
+func (h *fileHandle) HPoll(mask int) int {
+	if h.closed || !h.v.p.Alive() || mask&vfs.PollPri == 0 {
+		return 0
+	}
+	if h.v.l != nil {
+		if h.v.l.StoppedOnEvent() {
+			return vfs.PollPri
+		}
+		return 0
+	}
+	if h.v.p.EventStoppedLWP() != nil {
+		return vfs.PollPri
+	}
+	return 0
+}
+
+var (
+	_ vfs.Handle = (*fileHandle)(nil)
+	_ vfs.Poller = (*fileHandle)(nil)
+)

@@ -1,0 +1,74 @@
+package procfs2_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro"
+	"repro/internal/procfs2"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Random bytes written to a ctl file must never panic or corrupt the
+// process — at worst they are rejected. (A debugger bug must not crash the
+// "kernel".)
+func TestCtlParserRobustAgainstGarbage(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("garbage", spin, types.UserCred(100, 10))
+	s.Run(2)
+	ctl := openf(t, s, dir(p.Pid)+"/ctl", vfs.OWrite)
+	defer ctl.Close()
+
+	f := func(raw []byte) bool {
+		// Avoid real control codes at the head that would block (PCSTOP,
+		// PCWSTOP) by prefixing a byte that makes the first code huge.
+		data := append([]byte{0xFF}, raw...)
+		ctl.Offset = 0
+		ctl.Write(data) // must not panic; errors are fine
+		return p.Alive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}
+
+// Random bytes fed to the wire decoders must error or round-trip, never
+// panic.
+func TestWireDecodersRobust(t *testing.T) {
+	f := func(raw []byte) bool {
+		procfs2.DecodeStatus(raw)
+		procfs2.DecodePSInfo(raw)
+		procfs2.DecodeMap(raw)
+		procfs2.DecodeCred(raw)
+		procfs2.DecodeUsage(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncating a valid encoded status at every byte boundary errors cleanly.
+func TestStatusDecodeEveryTruncation(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("tr", spin, types.UserCred(100, 10))
+	s.Run(2)
+	st, err := p.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := procfs2.EncodeStatus(st)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := procfs2.DecodeStatus(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if got, err := procfs2.DecodeStatus(full); err != nil || got.Pid != p.Pid {
+		t.Fatalf("full decode: %v", err)
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}

@@ -1,0 +1,114 @@
+package procfs2_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// A program inside the simulation inspects itself through the restructured
+// /proc with nothing but getpid, open and read — no ioctl anywhere. The
+// flat interface cannot be used this way from a plain binary interface,
+// which is precisely the contrast the paper's restructuring draws: "process
+// state is interrogated by read(2) operations applied to appropriate
+// read-only status files".
+func TestProgramReadsItsOwnPSInfo(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("navelgaze", `
+	movi r0, SYS_getpid
+	syscall
+	mov r5, r0		; pid
+	; render the pid as the 5-digit directory name, backwards
+	la r6, name
+	addi r6, 4
+	movi r7, 5
+digs:	mov r1, r5
+	movi r2, 10
+	mod r1, r2
+	addi r1, 48		; '0' + digit
+	stb r1, [r6]
+	movi r2, 10
+	div r5, r2
+	addi r6, -1
+	addi r7, -1
+	cmpi r7, 0
+	jne digs
+	; open /procx/<name>/psinfo and read the binary record
+	movi r0, SYS_open
+	la r1, path
+	movi r2, 1
+	syscall
+	mov r6, r0
+	movi r0, SYS_read
+	mov r1, r6
+	la r2, buf
+	movi r3, 64
+	syscall
+	la r3, buf
+	ld r1, [r3]		; the first field of psinfo is the pid
+	movi r0, SYS_exit
+	syscall
+.data
+path:	.ascii "/procx/"
+name:	.ascii "00000"
+	.asciz "/psinfo"
+buf:	.space 64
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != p.Pid&0xFF {
+		t.Fatalf("code = %d, want the process's own pid %d", code, p.Pid)
+	}
+}
+
+// A program walks the /procx directory itself with getdents: the process
+// file system is an ordinary directory tree even to simulated programs.
+func TestProgramListsProcx(t *testing.T) {
+	s := repro.NewSystem()
+	// Spawn a sibling so there is something beyond the system processes.
+	if _, err := s.SpawnProg("sibling", "loop:\tjmp loop\n", types.UserCred(100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.SpawnProg("walker", `
+	movi r0, SYS_open
+	la r1, dir
+	movi r2, 1
+	syscall
+	mov r6, r0
+	movi r7, 0
+more:	movi r0, SYS_getdents
+	mov r1, r6
+	la r2, buf
+	movi r3, 512
+	syscall
+	cmpi r0, 0
+	je done
+	movi r2, 64
+	div r0, r2
+	add r7, r0
+	jmp more
+done:	mov r1, r7	; entries seen: sched, init, pageout, sibling, walker
+	movi r0, SYS_exit
+	syscall
+.data
+dir:	.asciz "/procx"
+buf:	.space 512
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code < 5 {
+		t.Fatalf("entries = %d, want >= 5", code)
+	}
+}

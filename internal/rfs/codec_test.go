@@ -1,0 +1,174 @@
+package rfs
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+// Round-trip every registered codec: encodeArg → decodeArg reconstructs the
+// argument; encodeResult → decodeResult reproduces the out-value.
+func TestCodecRoundTrips(t *testing.T) {
+	var sigs types.SigSet
+	sigs.Add(types.SIGINT)
+	sigs.Add(types.SIGUSR2)
+	var flts types.FltSet
+	flts.Add(types.FLTBPT)
+	var syss types.SysSet
+	syss.Add(kernel.SysRead)
+	syss.Add(kernel.SysExec)
+	regs := vcpu.Regs{PC: 0x80000010, SP: 0x7FFF0000, PSW: 5}
+	regs.R[3] = 42
+	run := kernel.RunFlags{ClearSig: true, Step: true, SetPC: true, PC: 0x1234, SetSig: 9}
+	watch := procfs.PrWatch{Vaddr: 0x8000, Size: 16, Mode: mem.ProtWrite}
+	five := 5
+	status := kernel.ProcStatus{Pid: 7, Why: kernel.WhyFaulted, What: types.FLTBPT, Reg: regs}
+	info := kernel.PSInfo{Pid: 7, Comm: "x", Args: "x -v", State: 'R', VSize: 4096}
+	cred := types.Cred{RUID: 1, EUID: 2, SUID: 2, RGID: 3, EGID: 4, SGID: 4, Groups: []int{7, 8}}
+	maps := []procfs.PrMap{{Vaddr: 0x80000000, Size: 4096, Prot: mem.ProtRX, Kind: mem.KindText, Name: "/bin/x"}}
+	usage := procfs.PrUsage{Usage: kernel.Usage{UserTicks: 10, Syscalls: 3}, COWFaults: 2}
+
+	// In-arguments: encode client-side, decode server-side, compare.
+	inCases := []struct {
+		name  string
+		cmd   int
+		arg   interface{}
+		check func(got interface{}) bool
+	}{
+		{"sigset", procfs.PIOCSTRACE, &sigs, func(g interface{}) bool { return *g.(*types.SigSet) == sigs }},
+		{"fltset", procfs.PIOCSFAULT, &flts, func(g interface{}) bool { return *g.(*types.FltSet) == flts }},
+		{"sysset", procfs.PIOCSENTRY, &syss, func(g interface{}) bool { return *g.(*types.SysSet) == syss }},
+		{"int", procfs.PIOCKILL, &five, func(g interface{}) bool { return *g.(*int) == 5 }},
+		{"regs", procfs.PIOCSREG, &regs, func(g interface{}) bool { return *g.(*vcpu.Regs) == regs }},
+		{"run", procfs.PIOCRUN, &run, func(g interface{}) bool { return *g.(*kernel.RunFlags) == run }},
+		{"watch", procfs.PIOCSWATCH, &watch, func(g interface{}) bool { return *g.(*procfs.PrWatch) == watch }},
+	}
+	for _, tc := range inCases {
+		codec := ioctlCodecs[tc.cmd]
+		b, err := codec.encodeArg(tc.arg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		got, err := codec.decodeArg(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if !tc.check(got) {
+			t.Fatalf("%s: round trip mismatch: %+v", tc.name, got)
+		}
+	}
+
+	// Out-results: encode server-side, decode into the caller's variable.
+	t.Run("status", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCSTATUS]
+		b, err := codec.encodeResult(&status)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out kernel.ProcStatus
+		if err := codec.decodeResult(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out != status {
+			t.Fatalf("%+v", out)
+		}
+		// nil arg is tolerated (PIOCSTOP with no status wanted).
+		if err := codec.decodeResult(b, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("psinfo", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCPSINFO]
+		b, _ := codec.encodeResult(&info)
+		var out kernel.PSInfo
+		if err := codec.decodeResult(b, &out); err != nil || out != info {
+			t.Fatalf("%+v %v", out, err)
+		}
+	})
+	t.Run("cred", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCCRED]
+		b, _ := codec.encodeResult(&cred)
+		var out types.Cred
+		if err := codec.decodeResult(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.RUID != 1 || out.EGID != 4 || len(out.Groups) != 2 || out.Groups[1] != 8 {
+			t.Fatalf("%+v", out)
+		}
+	})
+	t.Run("map", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCMAP]
+		b, _ := codec.encodeResult(&maps)
+		var out []procfs.PrMap
+		if err := codec.decodeResult(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || out[0] != maps[0] {
+			t.Fatalf("%+v", out)
+		}
+	})
+	t.Run("usage", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCUSAGE]
+		b, _ := codec.encodeResult(&usage)
+		var out procfs.PrUsage
+		if err := codec.decodeResult(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.UserTicks != 10 || out.COWFaults != 2 {
+			t.Fatalf("%+v", out)
+		}
+	})
+	t.Run("regsOut", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCGREG]
+		b, _ := codec.encodeResult(&regs)
+		var out vcpu.Regs
+		if err := codec.decodeResult(b, &out); err != nil || out != regs {
+			t.Fatalf("%+v %v", out, err)
+		}
+	})
+	t.Run("sigsetOut", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCGTRACE]
+		b, _ := codec.encodeResult(&sigs)
+		var out types.SigSet
+		if err := codec.decodeResult(b, &out); err != nil || out != sigs {
+			t.Fatalf("%+v %v", out, err)
+		}
+	})
+	t.Run("intOut", func(t *testing.T) {
+		codec := ioctlCodecs[procfs.PIOCMAXSIG]
+		n := 128
+		b, _ := codec.encodeResult(&n)
+		var out int
+		if err := codec.decodeResult(b, &out); err != nil || out != 128 {
+			t.Fatalf("%d %v", out, err)
+		}
+	})
+}
+
+// Wrong argument types are rejected, not crashed on.
+func TestCodecTypeErrors(t *testing.T) {
+	bad := "not the right type"
+	for _, cmd := range []int{procfs.PIOCSTRACE, procfs.PIOCKILL, procfs.PIOCSREG, procfs.PIOCSWATCH} {
+		codec := ioctlCodecs[cmd]
+		if _, err := codec.encodeArg(&bad); err == nil {
+			t.Errorf("cmd %#x accepted a bad arg type", cmd)
+		}
+	}
+	for _, cmd := range []int{procfs.PIOCSTATUS, procfs.PIOCPSINFO, procfs.PIOCCRED, procfs.PIOCMAP} {
+		codec := ioctlCodecs[cmd]
+		if err := codec.decodeResult([]byte{1, 2, 3}, &bad); err == nil {
+			t.Errorf("cmd %#x accepted a bad result type", cmd)
+		}
+	}
+	// Truncated operand bytes are rejected.
+	if _, err := ioctlCodecs[procfs.PIOCSTRACE].decodeArg([]byte{1, 2}); err == nil {
+		t.Error("truncated sigset accepted")
+	}
+	if _, err := ioctlCodecs[procfs.PIOCSREG].decodeArg([]byte{1}); err == nil {
+		t.Error("truncated regs accepted")
+	}
+}

@@ -1,0 +1,17 @@
+package rfs_test
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/procfs2"
+)
+
+// Small wrappers over the procfs2 client-side builders, so the RFS tests
+// read cleanly.
+
+func ctlStop() []byte { return (&procfs2.CtlBuf{}).Stop().Bytes() }
+
+func ctlRun() []byte { return (&procfs2.CtlBuf{}).Run(0, 0).Bytes() }
+
+func decodeStatus(b []byte) (kernel.ProcStatus, error) {
+	return procfs2.DecodeStatus(b)
+}

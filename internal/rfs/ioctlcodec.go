@@ -1,0 +1,518 @@
+package rfs
+
+import (
+	"errors"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/procfs2"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+// ioctlCodec is one entry of the remote-ioctl marshalling registry. Every
+// /proc ioctl that should work across RFS needs one of these: code that
+// knows the operand's size, direction and layout. Contrast with read/write,
+// which forward as plain bytes — precisely the paper's argument for the
+// restructured interface.
+type ioctlCodec struct {
+	encodeArg    func(arg interface{}) ([]byte, error)
+	decodeArg    func(b []byte) (interface{}, error)
+	encodeResult func(arg interface{}) ([]byte, error)
+	decodeResult func(b []byte, arg interface{}) error
+}
+
+var errBadArg = errors.New("rfs: ioctl argument has the wrong type")
+
+// nothing is the codec piece for absent halves.
+func nothingIn(arg interface{}) ([]byte, error)     { return nil, nil }
+func nothingOut(b []byte, arg interface{}) error    { return nil }
+func makeNothing(b []byte) (interface{}, error)     { return nil, nil }
+func resultNothing(arg interface{}) ([]byte, error) { return nil, nil }
+
+// noArgCodec: commands with no operand at all (PIOCSFORK etc.).
+var noArgCodec = ioctlCodec{
+	encodeArg:    nothingIn,
+	decodeArg:    makeNothing,
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+// intInCodec: commands taking *int (PIOCKILL, PIOCNICE, ...).
+var intInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		v, ok := arg.(*int)
+		if !ok || v == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU32(uint32(*v))
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		v := int(int32(m.u32()))
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &v, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+// intOutCodec: commands filling *int (PIOCNMAP, PIOCMAXSIG).
+var intOutCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) {
+		v := 0
+		return &v, nil
+	},
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		v, ok := arg.(*int)
+		if !ok {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU32(uint32(*v))
+		return m.b, nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		v, ok := arg.(*int)
+		if !ok || v == nil {
+			return errBadArg
+		}
+		m := &buf{b: b}
+		*v = int(int32(m.u32()))
+		return m.err
+	},
+}
+
+// statusOutCodec: commands filling *kernel.ProcStatus, where a nil argument
+// is permitted (PIOCSTOP, PIOCWSTOP).
+var statusOutCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) {
+		return &kernel.ProcStatus{}, nil
+	},
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		st, ok := arg.(*kernel.ProcStatus)
+		if !ok {
+			return nil, errBadArg
+		}
+		return procfs2.EncodeStatus(*st), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		if arg == nil {
+			return nil
+		}
+		st, ok := arg.(*kernel.ProcStatus)
+		if !ok {
+			return errBadArg
+		}
+		if st == nil {
+			return nil
+		}
+		got, err := procfs2.DecodeStatus(b)
+		if err != nil {
+			return err
+		}
+		*st = got
+		return nil
+	},
+}
+
+// sigSetInCodec / sigSetOutCodec.
+var sigSetInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		s, ok := arg.(*types.SigSet)
+		if !ok || s == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU64(s[0])
+		m.putU64(s[1])
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		s := types.SigSet{m.u64(), m.u64()}
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &s, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+var sigSetOutCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &types.SigSet{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		s, ok := arg.(*types.SigSet)
+		if !ok {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU64(s[0])
+		m.putU64(s[1])
+		return m.b, nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		s, ok := arg.(*types.SigSet)
+		if !ok || s == nil {
+			return errBadArg
+		}
+		m := &buf{b: b}
+		*s = types.SigSet{m.u64(), m.u64()}
+		return m.err
+	},
+}
+
+var fltSetInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		s, ok := arg.(*types.FltSet)
+		if !ok || s == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU64(s[0])
+		m.putU64(s[1])
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		s := types.FltSet{m.u64(), m.u64()}
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &s, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+var sysSetInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		s, ok := arg.(*types.SysSet)
+		if !ok || s == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		for _, w := range s {
+			m.putU64(w)
+		}
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		var s types.SysSet
+		for i := range s {
+			s[i] = m.u64()
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &s, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+func encodeRegs(r *vcpu.Regs) []byte {
+	m := &buf{}
+	for _, v := range r.R {
+		m.putU32(v)
+	}
+	m.putU32(r.PC)
+	m.putU32(r.SP)
+	m.putU32(r.PSW)
+	return m.b
+}
+
+func decodeRegs(b []byte) (vcpu.Regs, error) {
+	m := &buf{b: b}
+	var r vcpu.Regs
+	for i := range r.R {
+		r.R[i] = m.u32()
+	}
+	r.PC = m.u32()
+	r.SP = m.u32()
+	r.PSW = m.u32()
+	return r, m.err
+}
+
+var regsInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		r, ok := arg.(*vcpu.Regs)
+		if !ok || r == nil {
+			return nil, errBadArg
+		}
+		return encodeRegs(r), nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		r, err := decodeRegs(b)
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+var regsOutCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &vcpu.Regs{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		r, ok := arg.(*vcpu.Regs)
+		if !ok {
+			return nil, errBadArg
+		}
+		return encodeRegs(r), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		r, ok := arg.(*vcpu.Regs)
+		if !ok || r == nil {
+			return errBadArg
+		}
+		got, err := decodeRegs(b)
+		if err != nil {
+			return err
+		}
+		*r = got
+		return nil
+	},
+}
+
+var runCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		m := &buf{}
+		var f kernel.RunFlags
+		if arg != nil {
+			rf, ok := arg.(*kernel.RunFlags)
+			if !ok {
+				return nil, errBadArg
+			}
+			if rf != nil {
+				f = *rf
+			}
+		}
+		var bits uint32
+		set := func(cond bool, bit uint32) {
+			if cond {
+				bits |= bit
+			}
+		}
+		set(f.ClearSig, 1)
+		set(f.ClearFault, 2)
+		set(f.Abort, 4)
+		set(f.Step, 8)
+		set(f.Stop, 16)
+		set(f.SetPC, 32)
+		m.putU32(bits)
+		m.putU32(f.PC)
+		m.putU32(uint32(f.SetSig))
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		bits := m.u32()
+		pc := m.u32()
+		setSig := int(m.u32())
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &kernel.RunFlags{
+			ClearSig:   bits&1 != 0,
+			ClearFault: bits&2 != 0,
+			Abort:      bits&4 != 0,
+			Step:       bits&8 != 0,
+			Stop:       bits&16 != 0,
+			SetPC:      bits&32 != 0,
+			PC:         pc,
+			SetSig:     setSig,
+		}, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+var psinfoCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &kernel.PSInfo{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		info, ok := arg.(*kernel.PSInfo)
+		if !ok {
+			return nil, errBadArg
+		}
+		return procfs2.EncodePSInfo(*info), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		info, ok := arg.(*kernel.PSInfo)
+		if !ok || info == nil {
+			return errBadArg
+		}
+		got, err := procfs2.DecodePSInfo(b)
+		if err != nil {
+			return err
+		}
+		*info = got
+		return nil
+	},
+}
+
+var credCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &types.Cred{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		c, ok := arg.(*types.Cred)
+		if !ok {
+			return nil, errBadArg
+		}
+		return procfs2.EncodeCred(*c), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		c, ok := arg.(*types.Cred)
+		if !ok || c == nil {
+			return errBadArg
+		}
+		got, err := procfs2.DecodeCred(b)
+		if err != nil {
+			return err
+		}
+		*c = got
+		return nil
+	},
+}
+
+var mapCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &[]procfs.PrMap{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		maps, ok := arg.(*[]procfs.PrMap)
+		if !ok {
+			return nil, errBadArg
+		}
+		entries := make([]procfs2.MapEntry, len(*maps))
+		for i, pm := range *maps {
+			entries[i] = procfs2.MapEntry{
+				Vaddr: pm.Vaddr, Size: pm.Size, Off: pm.Off,
+				Prot: uint32(pm.Prot), Shared: pm.Shared,
+				Kind: int32(pm.Kind), Name: pm.Name,
+			}
+		}
+		return procfs2.EncodeMap(entries), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		maps, ok := arg.(*[]procfs.PrMap)
+		if !ok || maps == nil {
+			return errBadArg
+		}
+		entries, err := procfs2.DecodeMap(b)
+		if err != nil {
+			return err
+		}
+		out := make([]procfs.PrMap, len(entries))
+		for i, e := range entries {
+			out[i] = procfs.PrMap{
+				Vaddr: e.Vaddr, Size: e.Size, Off: e.Off,
+				Prot: mem.Prot(e.Prot), Shared: e.Shared,
+				Kind: mem.SegKind(e.Kind), Name: e.Name,
+			}
+		}
+		*maps = out
+		return nil
+	},
+}
+
+var usageCodec = ioctlCodec{
+	encodeArg: nothingIn,
+	decodeArg: func(b []byte) (interface{}, error) { return &procfs.PrUsage{}, nil },
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		u, ok := arg.(*procfs.PrUsage)
+		if !ok {
+			return nil, errBadArg
+		}
+		return procfs2.EncodeUsage(u.Usage, u.MinorFaults, u.COWFaults, u.WatchRecover, u.StackGrows), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		u, ok := arg.(*procfs.PrUsage)
+		if !ok || u == nil {
+			return errBadArg
+		}
+		rec, err := procfs2.DecodeUsage(b)
+		if err != nil {
+			return err
+		}
+		u.Usage = rec.Usage
+		u.MinorFaults = rec.MinorFaults
+		u.COWFaults = rec.COWFaults
+		u.WatchRecover = rec.WatchRecover
+		u.StackGrows = rec.StackGrows
+		return nil
+	},
+}
+
+var watchInCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		w, ok := arg.(*procfs.PrWatch)
+		if !ok || w == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		m.putU32(w.Vaddr)
+		m.putU32(w.Size)
+		m.putU32(uint32(w.Mode))
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		w := procfs.PrWatch{Vaddr: m.u32(), Size: m.u32(), Mode: mem.Prot(m.u32())}
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &w, nil
+	},
+	encodeResult: resultNothing,
+	decodeResult: nothingOut,
+}
+
+// ioctlCodecs is the registry: every remotable /proc ioctl, each with its
+// bespoke marshalling. Commands without codecs (the deprecated pointer-
+// returning PIOCGETPR, the descriptor-returning PIOCOPENM) cannot cross the
+// network at all — another limitation read/write does not share.
+var ioctlCodecs = map[int]ioctlCodec{
+	procfs.PIOCSTATUS: statusOutCodec,
+	procfs.PIOCSTOP:   statusOutCodec,
+	procfs.PIOCWSTOP:  statusOutCodec,
+	procfs.PIOCRUN:    runCodec,
+	procfs.PIOCSTRACE: sigSetInCodec,
+	procfs.PIOCGTRACE: sigSetOutCodec,
+	procfs.PIOCSSIG:   intInCodec,
+	procfs.PIOCKILL:   intInCodec,
+	procfs.PIOCUNKILL: intInCodec,
+	procfs.PIOCSHOLD:  sigSetInCodec,
+	procfs.PIOCGHOLD:  sigSetOutCodec,
+	procfs.PIOCMAXSIG: intOutCodec,
+	procfs.PIOCSFAULT: fltSetInCodec,
+	procfs.PIOCCFAULT: noArgCodec,
+	procfs.PIOCSENTRY: sysSetInCodec,
+	procfs.PIOCSEXIT:  sysSetInCodec,
+	procfs.PIOCSFORK:  noArgCodec,
+	procfs.PIOCRFORK:  noArgCodec,
+	procfs.PIOCSRLC:   noArgCodec,
+	procfs.PIOCRRLC:   noArgCodec,
+	procfs.PIOCGREG:   regsOutCodec,
+	procfs.PIOCSREG:   regsInCodec,
+	procfs.PIOCNMAP:   intOutCodec,
+	procfs.PIOCMAP:    mapCodec,
+	procfs.PIOCCRED:   credCodec,
+	procfs.PIOCPSINFO: psinfoCodec,
+	procfs.PIOCNICE:   intInCodec,
+	procfs.PIOCUSAGE:  usageCodec,
+	procfs.PIOCSWATCH: watchInCodec,
+	procfs.PIOCCWATCH: noArgCodec,
+}

@@ -1,0 +1,165 @@
+package rfs_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/rfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// The full debugger, unmodified, against a remote process: breakpoints
+// planted over the wire, faulted stops awaited remotely (the server drives
+// its own scheduler inside the blocking PIOCWSTOP), memory inspected in
+// bulk reads.
+func TestRemoteDebugger(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("rdbg", `
+.entry main
+fn:	addi r4, 1
+	ret
+main:	movi r5, 3
+loop:	call fn
+	addi r5, -1
+	cmpi r5, 0
+	jne loop
+	movi r0, SYS_exit
+	mov r1, r4
+	syscall
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rfs.NewServer(s.NS, nil)
+	cl := rfs.NewClient(rfs.LocalTransport{S: srv}, types.RootCred())
+
+	f, err := cl.Open("/proc/"+procfs.PidName(p.Pid), vfs.ORead|vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebuggerFile(s, p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := d.Lookup("fn")
+	if !ok {
+		t.Fatal("no symbol")
+	}
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	for hit := 0; hit < 3; hit++ {
+		st, err := d.Cont()
+		if err != nil {
+			t.Fatalf("hit %d: %v", hit, err)
+		}
+		if st.Why != kernel.WhyFaulted || st.Reg.PC != fn {
+			t.Fatalf("hit %d: %+v", hit, st)
+		}
+		if int(st.Reg.R[4]) != hit {
+			t.Fatalf("hit %d: r4 = %d", hit, st.Reg.R[4])
+		}
+	}
+	if err := d.ClearBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 3 {
+		t.Fatalf("code = %d", code)
+	}
+	if cl.Ops < 20 {
+		t.Fatalf("ops = %d: everything should have crossed the transport", cl.Ops)
+	}
+}
+
+// Remote run-on-last-close: closing the remote descriptor releases the
+// process on the server machine.
+func TestRemoteRunOnLastClose(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("rrlc", spin, types.UserCred(100, 10))
+	srv := rfs.NewServer(s.NS, nil)
+	cl := rfs.NewClient(rfs.LocalTransport{S: srv}, types.RootCred())
+	f, err := cl.Open("/proc/"+procfs.PidName(p.Pid), vfs.ORead|vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ioctl(procfs.PIOCSRLC, nil); err != nil {
+		t.Fatal(err)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Rep().Stopped() {
+		t.Fatal("not stopped")
+	}
+	// The remote controller "dies": its close crosses the wire and
+	// releases the process.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	if p.Rep().Stopped() {
+		t.Fatal("run-on-last-close did not apply remotely")
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}
+
+// Errors cross the transport faithfully.
+func TestRemoteErrorMapping(t *testing.T) {
+	s := repro.NewSystem()
+	srv := rfs.NewServer(s.NS, nil)
+	cl := rfs.NewClient(rfs.LocalTransport{S: srv}, types.UserCred(100, 10))
+	if _, err := cl.Open("/no/such/path", vfs.ORead); err != vfs.ErrNotExist {
+		t.Fatalf("ENOENT: %v", err)
+	}
+	s.FS.WriteFile("/tmp/private", []byte("x"), 0o600, 0, 0)
+	if _, err := cl.Open("/tmp/private", vfs.ORead); err != vfs.ErrPerm {
+		t.Fatalf("EACCES: %v", err)
+	}
+	if _, err := cl.ReadDir("/tmp/private"); err == nil {
+		t.Fatal("readdir of a file should fail")
+	}
+	// Bad fd after close.
+	s.FS.WriteFile("/tmp/pub", []byte("y"), 0o644, 0, 0)
+	f, err := cl.Open("/tmp/pub", vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Pread(make([]byte, 1), 0); err != vfs.ErrBadFD {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+// The PIOCUSAGE codec crosses the wire.
+func TestRemoteUsage(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("ru", spin, types.UserCred(100, 10))
+	s.Run(10)
+	srv := rfs.NewServer(s.NS, nil)
+	cl := rfs.NewClient(rfs.LocalTransport{S: srv}, types.RootCred())
+	f, err := cl.Open("/proc/"+procfs.PidName(p.Pid), vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var u procfs.PrUsage
+	if err := f.Ioctl(procfs.PIOCUSAGE, &u); err != nil {
+		t.Fatal(err)
+	}
+	if u.UserTicks == 0 {
+		t.Fatal("remote usage empty")
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}

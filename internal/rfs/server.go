@@ -1,0 +1,264 @@
+package rfs
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Server exports a name space over the RFS protocol. Each connection
+// declares its credentials at handshake (RFS-style trusted network); the
+// server acts within the name space under those credentials, so all the
+// usual /proc security applies remotely.
+type Server struct {
+	NS *vfs.NS
+	// Lock serializes access to the simulated system when requests arrive
+	// from multiple connections or goroutines; the kernel itself is
+	// deliberately not goroutine-safe.
+	Lock sync.Locker
+
+	mu     sync.Mutex
+	nextFD uint32
+	open   map[uint32]*vfs.File
+	creds  map[uint32]types.Cred // per-fd opening credential (audit)
+}
+
+// NewServer creates a server over a name space. lock may be nil for
+// single-goroutine (LocalTransport) use.
+func NewServer(ns *vfs.NS, lock sync.Locker) *Server {
+	if lock == nil {
+		lock = noLock{}
+	}
+	return &Server{NS: ns, Lock: lock, open: map[uint32]*vfs.File{}, creds: map[uint32]types.Cred{}}
+}
+
+type noLock struct{}
+
+func (noLock) Lock()   {}
+func (noLock) Unlock() {}
+
+// Handle processes one request and returns the response.
+func (s *Server) Handle(req []byte) []byte {
+	in := &buf{b: req}
+	op := in.u8()
+	cred := types.Cred{
+		RUID: int(in.u32()), EUID: int(in.u32()),
+		RGID: int(in.u32()), EGID: int(in.u32()),
+	}
+	cred.SUID, cred.SGID = cred.EUID, cred.EGID
+	out := &buf{}
+	if in.err != nil {
+		code, msg := encodeErr(in.err)
+		out.putU32(code)
+		out.putStr(msg)
+		return out.b
+	}
+	s.Lock.Lock()
+	defer s.Lock.Unlock()
+	err := s.dispatch(op, cred, in, out)
+	code, msg := encodeErr(err)
+	resp := &buf{}
+	resp.putU32(code)
+	resp.putStr(msg)
+	resp.b = append(resp.b, out.b...)
+	return resp.b
+}
+
+func (s *Server) dispatch(op uint8, cred types.Cred, in, out *buf) error {
+	cl := &vfs.Client{NS: s.NS, Cred: cred}
+	switch op {
+	case opOpen:
+		path := in.str()
+		flags := int(in.u32())
+		if in.err != nil {
+			return in.err
+		}
+		f, err := cl.Open(path, flags)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.nextFD++
+		fd := s.nextFD
+		s.open[fd] = f
+		s.creds[fd] = cred
+		s.mu.Unlock()
+		out.putU32(fd)
+		return nil
+
+	case opClose:
+		fd := in.u32()
+		f := s.lookupFD(fd)
+		if f == nil {
+			return vfs.ErrBadFD
+		}
+		s.mu.Lock()
+		delete(s.open, fd)
+		delete(s.creds, fd)
+		s.mu.Unlock()
+		return f.Close()
+
+	case opRead:
+		fd := in.u32()
+		off := in.i64()
+		n := int(in.u32())
+		if in.err != nil {
+			return in.err
+		}
+		f := s.lookupFD(fd)
+		if f == nil {
+			return vfs.ErrBadFD
+		}
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		p := make([]byte, n)
+		got, err := f.Pread(p, off)
+		if err != nil && got == 0 {
+			return err
+		}
+		out.putBytes(p[:got])
+		return nil
+
+	case opWrite:
+		fd := in.u32()
+		off := in.i64()
+		data := in.bytes()
+		if in.err != nil {
+			return in.err
+		}
+		f := s.lookupFD(fd)
+		if f == nil {
+			return vfs.ErrBadFD
+		}
+		got, err := f.Pwrite(data, off)
+		if err != nil && got == 0 {
+			return err
+		}
+		out.putU32(uint32(got))
+		return nil
+
+	case opReadDir:
+		path := in.str()
+		if in.err != nil {
+			return in.err
+		}
+		ents, err := cl.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		out.putU32(uint32(len(ents)))
+		for _, e := range ents {
+			out.putStr(e.Name)
+			out.putAttr(e.Attr)
+		}
+		return nil
+
+	case opStat:
+		path := in.str()
+		if in.err != nil {
+			return in.err
+		}
+		attr, err := cl.Stat(path)
+		if err != nil {
+			return err
+		}
+		out.putAttr(attr)
+		return nil
+
+	case opIoctl:
+		fd := in.u32()
+		cmd := int(in.u32())
+		argBytes := in.bytes()
+		if in.err != nil {
+			return in.err
+		}
+		f := s.lookupFD(fd)
+		if f == nil {
+			return vfs.ErrBadFD
+		}
+		// The ioctl ugliness: the server must know each command's operand
+		// shape to reconstruct it, perform the call, and re-serialize.
+		codec, ok := ioctlCodecs[cmd]
+		if !ok {
+			return vfs.ErrNoIoctl
+		}
+		arg, err := codec.decodeArg(argBytes)
+		if err != nil {
+			return err
+		}
+		if err := f.Ioctl(cmd, arg); err != nil {
+			return err
+		}
+		res, err := codec.encodeResult(arg)
+		if err != nil {
+			return err
+		}
+		out.putBytes(res)
+		return nil
+
+	case opPoll:
+		fd := in.u32()
+		mask := int(in.u32())
+		if in.err != nil {
+			return in.err
+		}
+		f := s.lookupFD(fd)
+		if f == nil {
+			return vfs.ErrBadFD
+		}
+		out.putU32(uint32(f.Poll(mask)))
+		return nil
+	}
+	return vfs.ErrInval
+}
+
+func (s *Server) lookupFD(fd uint32) *vfs.File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.open[fd]
+}
+
+// ServeConn serves frames from a connection until it closes.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := writeFrame(conn, s.Handle(req)); err != nil {
+			return err
+		}
+	}
+}
+
+// LocalTransport invokes a server in-process — deterministic and
+// single-goroutine, like a loopback mount.
+type LocalTransport struct{ S *Server }
+
+// RoundTrip implements Transport.
+func (t LocalTransport) RoundTrip(req []byte) ([]byte, error) {
+	return t.S.Handle(req), nil
+}
+
+// ConnTransport speaks the frame protocol over a stream connection (one
+// outstanding request at a time).
+type ConnTransport struct {
+	Conn io.ReadWriter
+	mu   sync.Mutex
+}
+
+// RoundTrip implements Transport.
+func (t *ConnTransport) RoundTrip(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(t.Conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(t.Conn)
+}

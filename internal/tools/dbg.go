@@ -1,0 +1,387 @@
+package tools
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+	"repro/internal/vfs"
+	"repro/internal/xout"
+)
+
+// Debugger is a breakpoint debugger built on /proc, the way the paper
+// intends: breakpoints are planted by writing the approved breakpoint
+// instruction into the (copy-on-write) text through the process file, and
+// fielded as FLTBPT faulted stops — the preferred method, relieved of the
+// ambiguities of signals.
+type Debugger struct {
+	Sys  *repro.System
+	P    *kernel.Proc
+	F    *vfs.File
+	Syms []kernel.Sym
+
+	breaks map[uint32]uint32 // addr -> original instruction word
+	// Ops counts /proc operations issued (opens, ioctls, reads, writes),
+	// the debugger-efficiency measure.
+	Ops int64
+}
+
+// NewDebugger attaches to a process with full control: FLTBPT and FLTTRACE
+// become events of interest.
+func NewDebugger(sys *repro.System, p *kernel.Proc, cred types.Cred) (*Debugger, error) {
+	f, err := sys.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, cred)
+	if err != nil {
+		return nil, err
+	}
+	return NewDebuggerFile(sys, p, f)
+}
+
+// NewDebuggerFile attaches through an already-open process file — which may
+// be a remote one obtained over RFS, since the debugger needs nothing but
+// the file operations.
+func NewDebuggerFile(sys *repro.System, p *kernel.Proc, f *vfs.File) (*Debugger, error) {
+	d := &Debugger{Sys: sys, P: p, F: f, breaks: map[uint32]uint32{}}
+	if syms, ok := p.ImageSyms(); ok {
+		d.Syms = syms
+	}
+	var flts types.FltSet
+	flts.Add(types.FLTBPT)
+	flts.Add(types.FLTTRACE)
+	d.Ops++
+	if err := f.Ioctl(procfs.PIOCSFAULT, &flts); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close detaches; without run-on-last-close the tracing flags would persist,
+// so clear them first and release any stop.
+func (d *Debugger) Close() error {
+	for addr := range d.breaks {
+		d.ClearBreak(addr)
+	}
+	var none types.FltSet
+	d.Ops++
+	d.F.Ioctl(procfs.PIOCSFAULT, &none)
+	if d.P.EventStoppedLWP() != nil {
+		d.Ops++
+		d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true, ClearSig: true})
+	}
+	return d.F.Close()
+}
+
+// LoadMappedSymbols walks the memory map and, for every mapped executable
+// object (the a.out and each shared library), obtains a descriptor with
+// PIOCOPENM, reads the image, and merges its symbol table into the
+// debugger's — relocated to where the object is actually mapped. This is
+// exactly what PIOCOPENM exists for: finding executable file symbol tables,
+// including those for shared libraries attached to the process, without
+// having to know pathnames.
+func (d *Debugger) LoadMappedSymbols() error {
+	var maps []procfs.PrMap
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCMAP, &maps); err != nil {
+		return err
+	}
+	for _, m := range maps {
+		if m.Kind != mem.KindText && m.Kind != mem.KindShlibText {
+			continue
+		}
+		vaddr := m.Vaddr
+		om := procfs.OpenMap{Vaddr: &vaddr}
+		d.Ops++
+		if err := d.F.Ioctl(procfs.PIOCOPENM, &om); err != nil {
+			continue // anonymous or unopenable; skip
+		}
+		img, err := readImage(om.File)
+		om.File.Close()
+		if err != nil {
+			continue
+		}
+		// Relocate: the image's symbols are relative to the conventional
+		// text base; the object may be mapped elsewhere (libraries are).
+		delta := int64(m.Vaddr) - int64(xout.TextBase)
+		known := make(map[kernel.Sym]bool, len(d.Syms))
+		for _, sym := range d.Syms {
+			known[sym] = true
+		}
+		for _, sym := range img.Syms {
+			s := kernel.Sym{Name: sym.Name, Value: uint32(int64(sym.Value) + delta)}
+			if !known[s] {
+				d.Syms = append(d.Syms, s)
+			}
+		}
+	}
+	return nil
+}
+
+// readImage slurps and parses an executable through an open descriptor.
+func readImage(f *vfs.File) (*xout.File, error) {
+	var data []byte
+	buf := make([]byte, 8192)
+	off := int64(0)
+	for {
+		n, err := f.Pread(buf, off)
+		data = append(data, buf[:n]...)
+		off += int64(n)
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	return xout.Unmarshal(data)
+}
+
+// Lookup resolves a symbol to its address.
+func (d *Debugger) Lookup(name string) (uint32, bool) {
+	for _, s := range d.Syms {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SymAt names the symbol covering addr.
+func (d *Debugger) SymAt(addr uint32) string {
+	best := ""
+	var bestVal uint32
+	for _, s := range d.Syms {
+		if s.Value <= addr && (best == "" || s.Value > bestVal) {
+			best, bestVal = s.Name, s.Value
+		}
+	}
+	if best == "" {
+		return fmt.Sprintf("%#x", addr)
+	}
+	if addr == bestVal {
+		return best
+	}
+	return fmt.Sprintf("%s+%#x", best, addr-bestVal)
+}
+
+// ReadWord reads one instruction word from the target.
+func (d *Debugger) ReadWord(addr uint32) (uint32, error) {
+	var b [4]byte
+	d.Ops++
+	if _, err := d.F.Pread(b[:], int64(addr)); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// WriteWord writes one instruction word into the target (COW protects the
+// executable and other processes).
+func (d *Debugger) WriteWord(addr, w uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], w)
+	d.Ops++
+	_, err := d.F.Pwrite(b[:], int64(addr))
+	return err
+}
+
+// ReadMem reads a block of target memory.
+func (d *Debugger) ReadMem(addr uint32, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	d.Ops++
+	got, err := d.F.Pread(buf, int64(addr))
+	if err != nil {
+		return nil, err
+	}
+	return buf[:got], nil
+}
+
+// WriteMem writes a block of target memory.
+func (d *Debugger) WriteMem(addr uint32, b []byte) error {
+	d.Ops++
+	_, err := d.F.Pwrite(b, int64(addr))
+	return err
+}
+
+// SetBreak plants a breakpoint at addr.
+func (d *Debugger) SetBreak(addr uint32) error {
+	if _, dup := d.breaks[addr]; dup {
+		return nil
+	}
+	orig, err := d.ReadWord(addr)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteWord(addr, vcpu.BreakpointWord); err != nil {
+		return err
+	}
+	d.breaks[addr] = orig
+	return nil
+}
+
+// SetBreakRecord registers a breakpoint that is already planted in the
+// target's text — the inherit-on-fork case, where the child's copied
+// address space carries the parent's breakpoint instructions and the
+// debugger of the child must know the original words without re-reading
+// clobbered text.
+func (d *Debugger) SetBreakRecord(addr, orig uint32) {
+	d.breaks[addr] = orig
+}
+
+// OrigWord returns the original instruction recorded under a breakpoint.
+func (d *Debugger) OrigWord(addr uint32) (uint32, bool) {
+	orig, ok := d.breaks[addr]
+	return orig, ok
+}
+
+// ClearBreak lifts a breakpoint.
+func (d *Debugger) ClearBreak(addr uint32) error {
+	orig, ok := d.breaks[addr]
+	if !ok {
+		return nil
+	}
+	delete(d.breaks, addr)
+	return d.WriteWord(addr, orig)
+}
+
+// LiftAll removes every breakpoint (e.g. before letting an untraced child
+// run, per the paper's fork discussion); PlantAll re-establishes them.
+func (d *Debugger) LiftAll() error {
+	for addr, orig := range d.breaks {
+		if err := d.WriteWord(addr, orig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlantAll re-writes every breakpoint instruction.
+func (d *Debugger) PlantAll() error {
+	for addr := range d.breaks {
+		if err := d.WriteWord(addr, vcpu.BreakpointWord); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop directs the process to stop and waits.
+func (d *Debugger) Stop() (kernel.ProcStatus, error) {
+	var st kernel.ProcStatus
+	d.Ops++
+	err := d.F.Ioctl(procfs.PIOCSTOP, &st)
+	return st, err
+}
+
+// Status fetches the status.
+func (d *Debugger) Status() (kernel.ProcStatus, error) {
+	var st kernel.ProcStatus
+	d.Ops++
+	err := d.F.Ioctl(procfs.PIOCSTATUS, &st)
+	return st, err
+}
+
+// Regs fetches the registers.
+func (d *Debugger) Regs() (vcpu.Regs, error) {
+	var r vcpu.Regs
+	d.Ops++
+	err := d.F.Ioctl(procfs.PIOCGREG, &r)
+	return r, err
+}
+
+// SetRegs stores the registers.
+func (d *Debugger) SetRegs(r vcpu.Regs) error {
+	d.Ops++
+	return d.F.Ioctl(procfs.PIOCSREG, &r)
+}
+
+// Cont resumes the target until the next breakpoint (or other traced fault)
+// and returns the stop status. If the target is currently stopped at a
+// breakpoint, Cont first steps over it: lift, single-step (FLTTRACE),
+// re-plant, then run free.
+func (d *Debugger) Cont() (kernel.ProcStatus, error) {
+	st, err := d.Status()
+	if err != nil {
+		return st, err
+	}
+	if st.Flags&kernel.PRIstop != 0 {
+		if st.Why == kernel.WhyFaulted && st.What == types.FLTBPT {
+			if err := d.stepOverBreakpoint(st.Reg.PC); err != nil {
+				return st, err
+			}
+		} else {
+			d.Ops++
+			if err := d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true}); err != nil {
+				return st, err
+			}
+		}
+	}
+	d.Ops++
+	var out kernel.ProcStatus
+	if err := d.F.Ioctl(procfs.PIOCWSTOP, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// stepOverBreakpoint executes the original instruction under a breakpoint:
+// restore it, single-step with the fault cleared, then re-plant.
+func (d *Debugger) stepOverBreakpoint(pc uint32) error {
+	orig, ok := d.breaks[pc]
+	if !ok {
+		// Not ours: just clear and run.
+		d.Ops++
+		return d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true})
+	}
+	if err := d.WriteWord(pc, orig); err != nil {
+		return err
+	}
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true, Step: true}); err != nil {
+		return err
+	}
+	d.Ops++
+	var st kernel.ProcStatus
+	if err := d.F.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+		return err
+	}
+	if st.Why != kernel.WhyFaulted || st.What != types.FLTTRACE {
+		return fmt.Errorf("dbg: expected FLTTRACE after step, got %v/%d", st.Why, st.What)
+	}
+	if err := d.WriteWord(pc, vcpu.BreakpointWord); err != nil {
+		return err
+	}
+	// Leave the process stopped at the trace fault; the caller's PIOCRUN
+	// (in Cont) releases it.
+	d.Ops++
+	return d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true})
+}
+
+// StepInstr executes exactly one instruction.
+func (d *Debugger) StepInstr() (kernel.ProcStatus, error) {
+	st, err := d.Status()
+	if err != nil {
+		return st, err
+	}
+	if st.Flags&kernel.PRIstop == 0 {
+		return st, fmt.Errorf("dbg: process is not stopped")
+	}
+	if st.Why == kernel.WhyFaulted && st.What == types.FLTBPT {
+		if orig, ok := d.breaks[st.Reg.PC]; ok {
+			// Step the real instruction, keeping the breakpoint planted
+			// for future hits.
+			if err := d.WriteWord(st.Reg.PC, orig); err != nil {
+				return st, err
+			}
+			defer d.WriteWord(st.Reg.PC, vcpu.BreakpointWord)
+		}
+	}
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true, Step: true}); err != nil {
+		return st, err
+	}
+	d.Ops++
+	var out kernel.ProcStatus
+	err = d.F.Ioctl(procfs.PIOCWSTOP, &out)
+	return out, err
+}

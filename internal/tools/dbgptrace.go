@@ -1,0 +1,156 @@
+package tools
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/vcpu"
+)
+
+// PtraceDebugger is the same breakpoint debugger built on the obsolete
+// ptrace(2) mechanism — the baseline the paper's interface supersedes. Every
+// memory transfer moves one word; every register access moves one word;
+// stops are entangled with signals; and the debugger must be the parent of
+// the process it controls. It exists so the benchmarks can reproduce the
+// paper's efficiency comparison ("breakpoints per second").
+type PtraceDebugger struct {
+	C      *kernel.PtraceController
+	breaks map[uint32]uint32
+}
+
+// NewPtraceDebugger attaches via the ptrace mechanism.
+func NewPtraceDebugger(c *kernel.PtraceController) *PtraceDebugger {
+	return &PtraceDebugger{C: c, breaks: map[uint32]uint32{}}
+}
+
+// Ops reports the ptrace calls issued.
+func (d *PtraceDebugger) Ops() int64 { return d.C.Ops }
+
+// WaitTrap waits until the child stops with SIGTRAP (a breakpoint fault
+// converted to a signal, since ptrace has no stop-on-fault).
+func (d *PtraceDebugger) WaitTrap(maxSteps int) error {
+	sig, err := d.C.WaitStop(maxSteps)
+	if err != nil {
+		return err
+	}
+	if sig != 0 && sig != 5 { // SIGTRAP
+		return fmt.Errorf("ptrace dbg: unexpected stop signal %d", sig)
+	}
+	return nil
+}
+
+// ReadMem reads n bytes the only way ptrace can: one word at a time.
+func (d *PtraceDebugger) ReadMem(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for off := 0; off < n; off += 4 {
+		w, err := d.C.PeekText(addr + uint32(off))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out[:n], nil
+}
+
+// WriteMem writes bytes one word at a time (with read-modify-write at the
+// edges, as real ptrace users had to).
+func (d *PtraceDebugger) WriteMem(addr uint32, b []byte) error {
+	for off := 0; off < len(b); off += 4 {
+		var w uint32
+		if off+4 <= len(b) {
+			w = uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+		} else {
+			old, err := d.C.PeekText(addr + uint32(off))
+			if err != nil {
+				return err
+			}
+			w = old
+			for i := 0; off+i < len(b); i++ {
+				shift := uint(24 - 8*i)
+				w = w&^(0xFF<<shift) | uint32(b[off+i])<<shift
+			}
+		}
+		if err := d.C.PokeText(addr+uint32(off), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regs fetches the registers one word at a time (PEEKUSER).
+func (d *PtraceDebugger) Regs() (vcpu.Regs, error) {
+	var r vcpu.Regs
+	for i := 0; i < vcpu.NumRegs; i++ {
+		v, err := d.C.PeekUser(i)
+		if err != nil {
+			return r, err
+		}
+		r.R[i] = v
+	}
+	var err error
+	if r.PC, err = d.C.PeekUser(kernel.PtUserPC); err != nil {
+		return r, err
+	}
+	if r.SP, err = d.C.PeekUser(kernel.PtUserSP); err != nil {
+		return r, err
+	}
+	if r.PSW, err = d.C.PeekUser(kernel.PtUserPSW); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// SetBreak plants a breakpoint.
+func (d *PtraceDebugger) SetBreak(addr uint32) error {
+	if _, dup := d.breaks[addr]; dup {
+		return nil
+	}
+	orig, err := d.C.PeekText(addr)
+	if err != nil {
+		return err
+	}
+	if err := d.C.PokeText(addr, vcpu.BreakpointWord); err != nil {
+		return err
+	}
+	d.breaks[addr] = orig
+	return nil
+}
+
+// ClearBreak lifts a breakpoint.
+func (d *PtraceDebugger) ClearBreak(addr uint32) error {
+	orig, ok := d.breaks[addr]
+	if !ok {
+		return nil
+	}
+	delete(d.breaks, addr)
+	return d.C.PokeText(addr, orig)
+}
+
+// Cont resumes until the next SIGTRAP stop, stepping over a breakpoint at
+// the current PC if there is one. With ptrace, the debugger must clear the
+// signal on every continuation — the signal-overload problem the paper
+// describes.
+func (d *PtraceDebugger) Cont(maxSteps int) error {
+	pc, err := d.C.PeekUser(kernel.PtUserPC)
+	if err != nil {
+		return err
+	}
+	if orig, ok := d.breaks[pc]; ok {
+		if err := d.C.PokeText(pc, orig); err != nil {
+			return err
+		}
+		if err := d.C.Step(0); err != nil {
+			return err
+		}
+		if _, err := d.C.WaitStop(maxSteps); err != nil {
+			return err
+		}
+		if err := d.C.PokeText(pc, vcpu.BreakpointWord); err != nil {
+			return err
+		}
+	}
+	if err := d.C.Cont(0); err != nil {
+		return err
+	}
+	return d.WaitTrap(maxSteps)
+}

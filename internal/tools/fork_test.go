@@ -1,0 +1,316 @@
+package tools_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+const forkProg = `
+.entry main
+fn:	addi r4, 1
+	ret
+main:	call fn			; hit once before the fork
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	call fn			; the child calls fn too
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	shr r1, 8
+	movi r0, SYS_exit
+	syscall
+`
+
+// The paper: to take control of new processes, set inherit-on-fork and
+// trace exit from fork; both parent and child stop on exit from fork; the
+// debugger opens the child using the parent's return value and has complete
+// control before the child runs any user-level code.
+func TestDebuggerTakesControlOfChild(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("forked", forkProg, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Inherit-on-fork plus trace fork exit.
+	if err := d.F.Ioctl(procfs.PIOCSFORK, nil); err != nil {
+		t.Fatal(err)
+	}
+	var exits types.SysSet
+	exits.Add(kernel.SysFork)
+	if err := d.F.Ioctl(procfs.PIOCSEXIT, &exits); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := d.Lookup("fn")
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+
+	// First stop: the pre-fork breakpoint hit.
+	st, err := d.Cont()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Why != kernel.WhyFaulted || st.Reg.PC != fn {
+		t.Fatalf("first stop: %+v", st)
+	}
+	// Second stop: the parent at exit from fork.
+	st, err = d.Cont()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Why != kernel.WhySysExit || st.What != kernel.SysFork {
+		t.Fatalf("second stop: %v/%d", st.Why, st.What)
+	}
+	childPid := int(st.Reg.R[0])
+	child := s.K.Proc(childPid)
+	if child == nil {
+		t.Fatal("child not found")
+	}
+	// Open the child: it is stopped at fork exit, has run nothing, and —
+	// because the address space was copied after the breakpoint write —
+	// it inherited the breakpoint.
+	cf, err := s.OpenProc(childPid, vfs.ORead|vfs.OWrite, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	cd, err := tools.NewDebuggerFile(s, child, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cd.ReadWord(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w>>24 != 0x24 { // OpBPT
+		t.Fatalf("child did not inherit the breakpoint: %#x", w)
+	}
+	cd.Syms = d.Syms
+	cd.SetBreakRecord(fn, mustOrig(t, d, fn))
+	// Release the parent's exit stop, then drive the child to its hit.
+	if err := d.F.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	cst, err := cd.Cont() // first release the child's fork-exit stop, hit fn
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Why != kernel.WhyFaulted || cst.Reg.PC != fn {
+		t.Fatalf("child stop: %+v", cst)
+	}
+	// Let everything finish.
+	if err := cd.ClearBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	cd.Close()
+	d.ClearBreak(fn)
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 0 {
+		t.Fatalf("final status %#x", status)
+	}
+}
+
+// The paper: to let new processes run unmolested, reset inherit-on-fork —
+// but inherited breakpoints would make the child malfunction. So the
+// debugger traces entry to fork, lifts all breakpoints there, lets the fork
+// proceed (the child is created breakpoint-free), and re-establishes them
+// at the parent's exit stop.
+func TestForkChildRunsUnmolested(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("unmol", forkProg, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var both types.SysSet
+	both.Add(kernel.SysFork)
+	if err := d.F.Ioctl(procfs.PIOCSENTRY, &both); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.F.Ioctl(procfs.PIOCSEXIT, &both); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := d.Lookup("fn")
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Breakpoint hit before the fork.
+	if st, err := d.Cont(); err != nil || st.Reg.PC != fn {
+		t.Fatalf("pre-fork hit: %+v %v", st, err)
+	}
+	// Stop at entry to fork: lift all breakpoints.
+	st, err := d.Cont()
+	if err != nil || st.Why != kernel.WhySysEntry {
+		t.Fatalf("fork entry: %+v %v", st, err)
+	}
+	if err := d.LiftAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop at exit from fork (parent): re-establish the breakpoints.
+	st, err = d.Cont()
+	if err != nil || st.Why != kernel.WhySysExit {
+		t.Fatalf("fork exit: %+v %v", st, err)
+	}
+	childPid := int(st.Reg.R[0])
+	// The child may already have run to completion while the parent's
+	// exit stop was being awaited — the strongest possible evidence that
+	// it ran unmolested (an inherited breakpoint would have killed it
+	// with SIGTRAP). If it is still around, check its text directly.
+	if child := s.K.Proc(childPid); child != nil && child.Alive() {
+		var w [4]byte
+		child.AS.ReadAt(w[:], int64(fn))
+		if w[0] == 0x24 {
+			t.Fatal("child inherited a breakpoint despite the lift")
+		}
+		if !child.Trace.Empty() {
+			t.Fatal("child inherited tracing flags")
+		}
+	}
+	if err := d.PlantAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The child runs unmolested to exit 0; the parent's wait returns it.
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 0 {
+		t.Fatalf("status %#x: the child should have run unmolested", status)
+	}
+}
+
+// vfork shares the address space: a breakpoint planted in the parent is the
+// same memory the child executes. The paper says "special care must be
+// taken with vfork"; this verifies why.
+func TestVforkSharesBreakpoints(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("vfshare", `
+.entry main
+fn:	ret
+main:	movi r0, SYS_vfork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_exit	; the child exits straight away
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	fn, _ := d.Lookup("fn")
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	var exits types.SysSet
+	exits.Add(kernel.SysVfork)
+	if err := d.F.Ioctl(procfs.PIOCSFORK, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.F.Ioctl(procfs.PIOCSEXIT, &exits); err != nil {
+		t.Fatal(err)
+	}
+	// The child's vfork-exit stop comes first (the parent is asleep until
+	// the child exits or execs).
+	var child *kernel.Proc
+	err = s.RunUntil(func() bool {
+		for _, q := range s.K.Procs() {
+			if q.Parent == p && q.EventStoppedLWP() != nil {
+				child = q
+				return true
+			}
+		}
+		return false
+	}, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same address space object: the breakpoint is visible to the child.
+	if child.AS != p.AS {
+		t.Fatal("vfork child should borrow the parent's address space")
+	}
+	var w [4]byte
+	child.AS.ReadAt(w[:], int64(fn))
+	if w[0] != 0x24 {
+		t.Fatal("breakpoint not visible through the shared space")
+	}
+	// Release the child; it exits, which wakes the parent out of its
+	// vfork sleep — and the parent then takes its own vfork exit stop.
+	if err := s.K.RunLWP(child.EventStoppedLWP(), kernel.RunFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	var pst kernel.ProcStatus
+	if err := d.F.Ioctl(procfs.PIOCWSTOP, &pst); err != nil {
+		t.Fatal(err)
+	}
+	if pst.Why != kernel.WhySysExit || pst.What != kernel.SysVfork {
+		t.Fatalf("parent stop: %v/%d", pst.Why, pst.What)
+	}
+	if int(pst.Reg.R[0]) != child.Pid {
+		t.Fatalf("parent vfork return = %d, want child pid %d", pst.Reg.R[0], child.Pid)
+	}
+	var none types.SysSet
+	if err := d.F.Ioctl(procfs.PIOCSEXIT, &none); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.F.Ioctl(procfs.PIOCRUN, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.ClearBreak(fn)
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 0 {
+		t.Fatalf("status %#x", status)
+	}
+}
+
+func mustOrig(t *testing.T, d *tools.Debugger, addr uint32) uint32 {
+	t.Helper()
+	orig, ok := d.OrigWord(addr)
+	if !ok {
+		t.Fatal("no recorded original word")
+	}
+	return orig
+}

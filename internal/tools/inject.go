@@ -1,0 +1,100 @@
+package tools
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vcpu"
+)
+
+// InjectSyscall forces the stopped target to execute a system call on the
+// debugger's behalf, without the process's knowledge or consent — the
+// paper's answer to everything /proc does not provide directly ("for the
+// remainder, a debugger can force a process to execute system calls on the
+// debugger's behalf").
+//
+// Mechanics: save the registers and the instruction at PC; write a SYSCALL
+// instruction there; load the call number and arguments into the registers;
+// trace the call's exit; run; collect the results at the exit stop; restore
+// the instruction, the registers and the trace set. The process resumes
+// exactly where it was, none the wiser.
+//
+// The target must be stopped on a /proc event of interest.
+func (d *Debugger) InjectSyscall(num int, args ...uint32) (ret uint32, errno kernel.Errno, err error) {
+	if len(args) > 5 {
+		return 0, 0, fmt.Errorf("dbg: too many syscall arguments")
+	}
+	st, err := d.Status()
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Flags&kernel.PRIstop == 0 {
+		return 0, 0, fmt.Errorf("dbg: target must be stopped")
+	}
+	savedRegs := st.Reg
+	pc := st.Reg.PC
+	savedWord, err := d.ReadWord(pc)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Save and replace the exit trace set.
+	var savedExit types.SysSet
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCGEXIT, &savedExit); err != nil {
+		return 0, 0, err
+	}
+	var onlyThis types.SysSet
+	onlyThis.Add(num)
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCSEXIT, &onlyThis); err != nil {
+		return 0, 0, err
+	}
+	restore := func() {
+		d.WriteWord(pc, savedWord)
+		d.SetRegs(savedRegs)
+		d.Ops++
+		d.F.Ioctl(procfs.PIOCSEXIT, &savedExit)
+	}
+	// Plant the SYSCALL instruction and load the registers.
+	if err := d.WriteWord(pc, vcpu.Encode(vcpu.OpSYSCALL, 0, 0, 0)); err != nil {
+		restore()
+		return 0, 0, err
+	}
+	regs := savedRegs
+	regs.R[0] = uint32(num)
+	for i, a := range args {
+		regs.R[i+1] = a
+	}
+	if err := d.SetRegs(regs); err != nil {
+		restore()
+		return 0, 0, err
+	}
+	// Run to the exit stop. If the current stop is a faulted one, the
+	// fault must be cleared or the instruction would be re-processed.
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCRUN, &kernel.RunFlags{ClearFault: true, ClearSig: true}); err != nil {
+		restore()
+		return 0, 0, err
+	}
+	var out kernel.ProcStatus
+	d.Ops++
+	if err := d.F.Ioctl(procfs.PIOCWSTOP, &out); err != nil {
+		restore()
+		return 0, 0, err
+	}
+	if out.Why != kernel.WhySysExit || out.What != num {
+		restore()
+		return 0, 0, fmt.Errorf("dbg: unexpected stop %v/%d during injection", out.Why, out.What)
+	}
+	if out.Reg.PSW&vcpu.FlagC != 0 {
+		errno = kernel.Errno(out.Reg.R[0])
+	} else {
+		ret = out.Reg.R[0]
+	}
+	// Put everything back; the target remains stopped at the original PC
+	// with its original registers.
+	restore()
+	return ret, errno, nil
+}

@@ -1,0 +1,143 @@
+package tools_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// Force a stopped process to call getpid on the debugger's behalf, without
+// its knowledge: its own computation must be unaffected.
+func TestInjectGetpid(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("victim", `
+	movi r5, 0
+loop:	addi r5, 1
+	cmpi r5, 10000
+	jne loop
+	mov r1, r5
+	movi r0, SYS_exit
+	syscall
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	if _, err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := d.Regs()
+
+	ret, errno, err := d.InjectSyscall(kernel.SysGetpid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errno != 0 || int(ret) != p.Pid {
+		t.Fatalf("injected getpid = %d/%v", ret, errno)
+	}
+	// The target's registers are exactly as before.
+	after, _ := d.Regs()
+	if before != after {
+		t.Fatalf("registers disturbed:\n%v\n%v", before, after)
+	}
+	// The target completes its own computation untouched.
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 10000&0xFF {
+		t.Fatalf("exit code = %d", code)
+	}
+}
+
+// Inject an open(2): a descriptor appears in the target's table, the thing
+// /proc deliberately does not provide an ioctl for.
+func TestInjectOpenCreatesVictimFD(t *testing.T) {
+	s := repro.NewSystem()
+	s.FS.WriteFile("/tmp/planted", []byte("evidence"), 0o644, 0, 0)
+	p, _ := s.SpawnProg("mark", `
+loop:	jmp loop
+.data
+path:	.asciz "/tmp/planted"
+`, types.UserCred(100, 10))
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s.Run(3)
+	if _, err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := d.Lookup("path")
+	fdsBefore := len(p.FDs())
+	ret, errno, err := d.InjectSyscall(kernel.SysOpen, path, vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errno != 0 {
+		t.Fatalf("injected open failed: %v", errno)
+	}
+	if len(p.FDs()) != fdsBefore+1 {
+		t.Fatal("no new descriptor in the victim's table")
+	}
+	f := p.FD(int(ret))
+	if f == nil {
+		t.Fatal("returned fd not present")
+	}
+	buf := make([]byte, 8)
+	if _, err := f.Pread(buf, 0); err != nil || string(buf) != "evidence" {
+		t.Fatalf("victim's fd reads %q, %v", buf, err)
+	}
+}
+
+// A failing injected call reports the errno.
+func TestInjectReportsErrno(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("failmark", `
+loop:	jmp loop
+.data
+path:	.asciz "/no/such/thing"
+`, types.UserCred(100, 10))
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s.Run(3)
+	if _, err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := d.Lookup("path")
+	_, errno, err := d.InjectSyscall(kernel.SysOpen, path, vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errno != kernel.ENOENT {
+		t.Fatalf("errno = %v, want ENOENT", errno)
+	}
+}
+
+// Injection on a running (unstopped) process is refused.
+func TestInjectRequiresStop(t *testing.T) {
+	s := repro.NewSystem()
+	p, _ := s.SpawnProg("free", "loop:\tjmp loop\n", types.UserCred(100, 10))
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s.Run(3)
+	if _, _, err := d.InjectSyscall(kernel.SysGetpid); err == nil {
+		t.Fatal("injection into a running process should be refused")
+	}
+}

@@ -1,0 +1,92 @@
+package tools_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// The debugger finds a shared library's symbol table through PIOCOPENM —
+// without knowing the library's pathname — and plants a breakpoint on a
+// library function that the program calls through the mapped address.
+func TestDebuggerBreaksInSharedLibrary(t *testing.T) {
+	s := repro.NewSystem()
+	// The library: one function that doubles r1.
+	if err := s.Install("/lib/libdouble", `
+lib_double:
+	add r1, r1
+	ret
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The program calls the library at its conventional mapped base.
+	p, err := s.SpawnProg("libuser", `
+.lib "libdouble"
+.entry main
+main:
+	movi r1, 21
+	movi r2, 0		; the library text base: 0xC0000000
+	movhi r2, 0xC000
+	callr r2
+	movi r0, SYS_exit	; exit with the doubled value
+	syscall
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tools.NewDebugger(s, p, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Before loading mapped symbols, the library function is unknown.
+	if _, ok := d.Lookup("lib_double"); ok {
+		t.Fatal("library symbol should not be known yet")
+	}
+	if err := d.LoadMappedSymbols(); err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := d.Lookup("lib_double")
+	if !ok {
+		t.Fatal("PIOCOPENM symbol loading failed")
+	}
+	if fn != 0xC0000000 {
+		t.Fatalf("lib_double relocated to %#x, want 0xC0000000", fn)
+	}
+	// Break on it; the hit proves both the relocation and the COW write
+	// into the library's read/exec text.
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Cont()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reg.PC != fn || st.Reg.R[1] != 21 {
+		t.Fatalf("stop: pc=%#x r1=%d", st.Reg.PC, st.Reg.R[1])
+	}
+	if got := d.SymAt(st.Reg.PC); got != "lib_double" {
+		t.Fatalf("SymAt = %q", got)
+	}
+	if err := d.ClearBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := kernel.WIfExited(status); code != 42 {
+		t.Fatalf("code = %d, want 42", code)
+	}
+	// The library file on disk is unscathed (COW).
+	data, _ := s.Client(types.RootCred()).ReadFile("/lib/libdouble")
+	if strings.Contains(string(data), "\x24\x00\x00\x00") {
+		t.Fatal("breakpoint leaked into the library file")
+	}
+}

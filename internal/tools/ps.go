@@ -1,0 +1,109 @@
+// Package tools implements the applications the paper describes on top of
+// /proc: ps(1) (via PIOCPSINFO), a Figure-1 style directory lister, a
+// Figure-2 style memory map reporter, truss(1) (system call tracing via
+// entry/exit stops), and a breakpoint debugger — in both its /proc form and
+// the obsolete ptrace form the paper compares against.
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/vfs"
+)
+
+// PS implements the SVR4 ps(1) logic: read the /proc directory, open each
+// process file read-only, issue the PIOCPSINFO request, close the file, and
+// print the result. Because all the information for a process is obtained in
+// a single operation, each line is a true snapshot of the process, even
+// though the complete listing is not a true snapshot of the whole system.
+func PS(cl *vfs.Client, w io.Writer) error {
+	ents, err := cl.ReadDir("/proc")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%5s %5s %4s %4s %2s %8s %6s %s\n",
+		"PID", "PPID", "UID", "GID", "S", "VSZ", "TIME", "COMD")
+	for _, e := range ents {
+		info, err := PSInfoOf(cl, e.Name)
+		if err != nil {
+			// The process may have exited between readdir and open.
+			continue
+		}
+		fmt.Fprintf(w, "%5d %5d %4d %4d %2c %8d %6d %s\n",
+			info.Pid, info.PPid, info.UID, info.GID, info.State,
+			info.VSize, info.Time, info.Comm)
+	}
+	return nil
+}
+
+// PSInfoOf fetches one process's PIOCPSINFO by directory entry name.
+func PSInfoOf(cl *vfs.Client, name string) (kernel.PSInfo, error) {
+	f, err := cl.Open("/proc/"+name, vfs.ORead)
+	if err != nil {
+		return kernel.PSInfo{}, err
+	}
+	defer f.Close()
+	var info kernel.PSInfo
+	if err := f.Ioctl(procfs.PIOCPSINFO, &info); err != nil {
+		return kernel.PSInfo{}, err
+	}
+	return info, nil
+}
+
+// LsProc renders "ls -l /proc" in the style of the paper's Figure 1.
+func LsProc(cl *vfs.Client, w io.Writer, names func(uid, gid int) (string, string)) error {
+	if names == nil {
+		names = func(uid, gid int) (string, string) {
+			return strconv.Itoa(uid), strconv.Itoa(gid)
+		}
+	}
+	ents, err := cl.ReadDir("/proc")
+	if err != nil {
+		return err
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		user, group := names(e.Attr.UID, e.Attr.GID)
+		fmt.Fprintf(w, "-%s %2d %-8s %-8s %8d %s %s\n",
+			vfs.FmtMode(e.Attr.Mode), e.Attr.Nlink, user, group,
+			e.Attr.Size, fmtTime(e.Attr.MTime), e.Name)
+	}
+	return nil
+}
+
+// fmtTime renders the simulated clock as a timestamp-like column.
+func fmtTime(ticks int64) string {
+	return fmt.Sprintf("t+%08d", ticks)
+}
+
+// PrMap renders the memory map of a process in the style of the paper's
+// Figure 2, using PIOCMAP.
+func PrMap(cl *vfs.Client, pid int, w io.Writer) error {
+	f, err := cl.Open("/proc/"+procfs.PidName(pid), vfs.ORead)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var maps []procfs.PrMap
+	if err := f.Ioctl(procfs.PIOCMAP, &maps); err != nil {
+		return err
+	}
+	for _, m := range maps {
+		kb := (int64(m.Size) + 1023) / 1024
+		attrs := ""
+		if m.Shared {
+			attrs = " shared"
+		}
+		kind := ""
+		if m.Kind.String() != "" {
+			kind = " [" + m.Kind.String() + "]"
+		}
+		fmt.Fprintf(w, "%08X %6dK %-10s%s%s %s\n", m.Vaddr, kb, m.Prot, attrs, kind, m.Name)
+	}
+	return nil
+}

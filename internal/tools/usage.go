@@ -1,0 +1,72 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/procfs"
+	"repro/internal/vfs"
+)
+
+// UsageSample is one observation of a process's resource usage and page
+// data — the paper's proposed interface "whereby a performance monitor can
+// sample page-level referenced and modified information for a process on
+// intervals at will".
+type UsageSample struct {
+	Clock int64
+	Usage procfs.PrUsage
+	Pages []procfs.PageData
+}
+
+// SampleUsage takes one sample through an open /proc file.
+func SampleUsage(f *vfs.File, clock int64) (UsageSample, error) {
+	s := UsageSample{Clock: clock}
+	if err := f.Ioctl(procfs.PIOCUSAGE, &s.Usage); err != nil {
+		return s, err
+	}
+	if err := f.Ioctl(procfs.PIOCPGD, &s.Pages); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// ModifiedPages totals the privatized (written) pages across the mappings.
+func (s UsageSample) ModifiedPages() int {
+	n := 0
+	for _, pd := range s.Pages {
+		n += pd.PrivatePages
+	}
+	return n
+}
+
+// UsageMonitor samples a process at intervals, driving the simulation
+// between samples, and reports per-interval deltas.
+type UsageMonitor struct {
+	F    *vfs.File
+	Out  io.Writer
+	prev *UsageSample
+}
+
+// Report takes a sample and prints the deltas since the previous one.
+func (m *UsageMonitor) Report(clock int64) (UsageSample, error) {
+	s, err := SampleUsage(m.F, clock)
+	if err != nil {
+		return s, err
+	}
+	if m.prev != nil && m.Out != nil {
+		p := m.prev
+		fmt.Fprintf(m.Out,
+			"t+%06d: +%4d utime +%4d stime +%3d syscalls +%3d faults +%3d minor +%2d cow, %d pages modified\n",
+			s.Clock,
+			s.Usage.UserTicks-p.Usage.UserTicks,
+			s.Usage.SysTicks-p.Usage.SysTicks,
+			s.Usage.Syscalls-p.Usage.Syscalls,
+			s.Usage.Faults-p.Usage.Faults,
+			s.Usage.MinorFaults-p.Usage.MinorFaults,
+			s.Usage.COWFaults-p.Usage.COWFaults,
+			s.ModifiedPages(),
+		)
+	}
+	m.prev = &s
+	return s, nil
+}

@@ -1,0 +1,63 @@
+package tools_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+func TestUsageSampling(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("worker2", `
+	la r6, buf
+	movi r7, 0
+loop:	st r7, [r6]
+	addi r6, 0x1000
+	addi r7, 1
+	cmpi r7, 4
+	jne loop
+	movi r0, SYS_getpid
+	syscall
+spin:	jmp spin
+.bss
+buf:	.space 20480
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.OpenProc(p.Pid, vfs.ORead, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var out strings.Builder
+	mon := &tools.UsageMonitor{F: f, Out: &out}
+	s1, err := mon.Report(s.K.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	s2, err := mon.Report(s.K.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Usage.UserTicks <= s1.Usage.UserTicks {
+		t.Fatal("user time should advance between samples")
+	}
+	if s2.ModifiedPages() < 4 {
+		t.Fatalf("modified pages = %d, want >= 4 (the strided stores)", s2.ModifiedPages())
+	}
+	if s2.Usage.MinorFaults < 4 {
+		t.Fatalf("minor faults = %d", s2.Usage.MinorFaults)
+	}
+	if !strings.Contains(out.String(), "pages modified") {
+		t.Fatalf("report output:\n%s", out.String())
+	}
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}

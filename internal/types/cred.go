@@ -1,0 +1,41 @@
+package types
+
+// Cred holds the credentials of a process, returned through /proc by the
+// PIOCCRED operation and consulted by the /proc security checks.
+type Cred struct {
+	RUID, EUID, SUID int   // real, effective, saved user ids
+	RGID, EGID, SGID int   // real, effective, saved group ids
+	Groups           []int // supplementary groups (PIOCGROUPS)
+}
+
+// IsSuper reports whether the credential carries super-user privilege.
+func (c Cred) IsSuper() bool { return c.EUID == 0 }
+
+// InGroup reports whether gid is the effective gid or a supplementary group.
+func (c Cred) InGroup(gid int) bool {
+	if c.EGID == gid {
+		return true
+	}
+	for _, g := range c.Groups {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the credential.
+func (c Cred) Clone() Cred {
+	d := c
+	d.Groups = append([]int(nil), c.Groups...)
+	return d
+}
+
+// UserCred is a convenience constructor for an ordinary user credential with
+// equal real, effective and saved ids.
+func UserCred(uid, gid int) Cred {
+	return Cred{RUID: uid, EUID: uid, SUID: uid, RGID: gid, EGID: gid, SGID: gid}
+}
+
+// RootCred is the super-user credential.
+func RootCred() Cred { return UserCred(0, 0) }

@@ -1,0 +1,58 @@
+package types
+
+import "fmt"
+
+// SVR4 machine-fault numbers (sys/fault.h), plus FLTWATCH for the proposed
+// generalized data watchpoint facility described in the paper.
+const (
+	FLTILL    = 1  // illegal instruction
+	FLTPRIV   = 2  // privileged instruction
+	FLTBPT    = 3  // breakpoint instruction
+	FLTTRACE  = 4  // trace trap (single-step)
+	FLTACCESS = 5  // memory access fault (protection violation)
+	FLTBOUNDS = 6  // memory bounds violation (reference to unmapped address)
+	FLTIOVF   = 7  // integer overflow
+	FLTIZDIV  = 8  // integer zero divide
+	FLTFPE    = 9  // floating point exception
+	FLTSTACK  = 10 // unrecoverable stack fault
+	FLTPAGE   = 11 // recoverable page fault
+	FLTWATCH  = 12 // watchpoint trap (proposed extension)
+	NFltNames = 13 // number of named faults (1..12)
+)
+
+var fltNames = [NFltNames]string{
+	"", "FLTILL", "FLTPRIV", "FLTBPT", "FLTTRACE", "FLTACCESS",
+	"FLTBOUNDS", "FLTIOVF", "FLTIZDIV", "FLTFPE", "FLTSTACK",
+	"FLTPAGE", "FLTWATCH",
+}
+
+// FltName returns the symbolic name of fault flt ("FLTBPT"), or a numeric
+// form for unnamed but valid fault numbers.
+func FltName(flt int) string {
+	if flt >= 1 && flt < NFltNames {
+		return fltNames[flt]
+	}
+	if flt >= 1 && flt <= MaxFault {
+		return fmt.Sprintf("FLT%d", flt)
+	}
+	return fmt.Sprintf("FLTBAD(%d)", flt)
+}
+
+// FaultSignal returns the signal a fault is converted to when the fault is
+// not an event of interest traced via /proc. The process is sent this signal,
+// "normally SIGTRAP or SIGILL" for breakpoints, as the paper describes.
+func FaultSignal(flt int) int {
+	switch flt {
+	case FLTILL, FLTPRIV:
+		return SIGILL
+	case FLTBPT, FLTTRACE, FLTWATCH:
+		return SIGTRAP
+	case FLTACCESS, FLTBOUNDS, FLTSTACK:
+		return SIGSEGV
+	case FLTIOVF, FLTIZDIV, FLTFPE:
+		return SIGFPE
+	case FLTPAGE:
+		return 0 // recoverable; no signal
+	}
+	return SIGILL
+}

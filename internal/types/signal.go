@@ -1,0 +1,112 @@
+package types
+
+import "fmt"
+
+// SVR4 signal numbers. These follow the System V Release 4 numbering.
+const (
+	SIGHUP    = 1  // hangup
+	SIGINT    = 2  // interrupt (rubout)
+	SIGQUIT   = 3  // quit (ASCII FS)
+	SIGILL    = 4  // illegal instruction
+	SIGTRAP   = 5  // trace trap
+	SIGABRT   = 6  // used by abort
+	SIGEMT    = 7  // EMT instruction
+	SIGFPE    = 8  // floating point exception
+	SIGKILL   = 9  // kill (cannot be caught or ignored)
+	SIGBUS    = 10 // bus error
+	SIGSEGV   = 11 // segmentation violation
+	SIGSYS    = 12 // bad argument to system call
+	SIGPIPE   = 13 // write on a pipe with no one to read it
+	SIGALRM   = 14 // alarm clock
+	SIGTERM   = 15 // software termination signal
+	SIGUSR1   = 16 // user defined signal 1
+	SIGUSR2   = 17 // user defined signal 2
+	SIGCHLD   = 18 // child status change
+	SIGPWR    = 19 // power-fail restart
+	SIGWINCH  = 20 // window size change
+	SIGURG    = 21 // urgent socket condition
+	SIGPOLL   = 22 // pollable event occurred
+	SIGSTOP   = 23 // stop (cannot be caught or ignored)
+	SIGTSTP   = 24 // user stop requested from tty
+	SIGCONT   = 25 // stopped process has been continued
+	SIGTTIN   = 26 // background tty read attempted
+	SIGTTOU   = 27 // background tty write attempted
+	SIGVTALRM = 28 // virtual timer expired
+	SIGPROF   = 29 // profiling timer expired
+	SIGXCPU   = 30 // exceeded cpu limit
+	SIGXFSZ   = 31 // exceeded file size limit
+	NSigNames = 32 // number of named signals (1..31)
+)
+
+var sigNames = [NSigNames]string{
+	"", "SIGHUP", "SIGINT", "SIGQUIT", "SIGILL", "SIGTRAP", "SIGABRT",
+	"SIGEMT", "SIGFPE", "SIGKILL", "SIGBUS", "SIGSEGV", "SIGSYS",
+	"SIGPIPE", "SIGALRM", "SIGTERM", "SIGUSR1", "SIGUSR2", "SIGCHLD",
+	"SIGPWR", "SIGWINCH", "SIGURG", "SIGPOLL", "SIGSTOP", "SIGTSTP",
+	"SIGCONT", "SIGTTIN", "SIGTTOU", "SIGVTALRM", "SIGPROF", "SIGXCPU",
+	"SIGXFSZ",
+}
+
+// SigName returns the symbolic name of signal sig ("SIGINT"), or a numeric
+// form ("SIG64") for unnamed but valid signal numbers.
+func SigName(sig int) string {
+	if sig >= 1 && sig < NSigNames {
+		return sigNames[sig]
+	}
+	if sig >= 1 && sig <= MaxSig {
+		return fmt.Sprintf("SIG%d", sig)
+	}
+	return fmt.Sprintf("SIGBAD(%d)", sig)
+}
+
+// SigNumber returns the signal number for a symbolic name, or 0 if unknown.
+func SigNumber(name string) int {
+	for n := 1; n < NSigNames; n++ {
+		if sigNames[n] == name {
+			return n
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "SIG%d", &n); err == nil && n >= 1 && n <= MaxSig {
+		return n
+	}
+	return 0
+}
+
+// IsJobControlStop reports whether sig is one of the job-control stop
+// signals, whose default action is a job-control stop taken inside issig().
+func IsJobControlStop(sig int) bool {
+	switch sig {
+	case SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU:
+		return true
+	}
+	return false
+}
+
+// DefaultDisposition classifies the default action for a signal.
+type DefaultDisposition int
+
+// Default signal dispositions.
+const (
+	DispTerminate DefaultDisposition = iota // terminate the process
+	DispCore                                // terminate with a core dump
+	DispIgnore                              // ignore the signal
+	DispStop                                // job-control stop
+	DispContinue                            // continue a stopped process
+)
+
+// SigDefault returns the default disposition of signal sig.
+func SigDefault(sig int) DefaultDisposition {
+	switch sig {
+	case SIGCHLD, SIGPWR, SIGWINCH, SIGURG:
+		return DispIgnore
+	case SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU:
+		return DispStop
+	case SIGCONT:
+		return DispContinue
+	case SIGQUIT, SIGILL, SIGTRAP, SIGABRT, SIGEMT, SIGFPE, SIGBUS,
+		SIGSEGV, SIGSYS, SIGXCPU, SIGXFSZ:
+		return DispCore
+	}
+	return DispTerminate
+}

@@ -1,0 +1,368 @@
+package vcpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/types"
+)
+
+// simm encodes a signed 16-bit immediate.
+func simm(v int16) uint16 { return uint16(v) }
+
+// newCPU builds a CPU with a RWX code page at 0x1000 and a stack at 0x8000.
+func newCPU(t *testing.T, words ...uint32) *CPU {
+	t.Helper()
+	as := mem.NewAS(4096)
+	if _, err := as.Map(mem.MapArgs{Base: 0x1000, Len: 4096, Prot: mem.ProtRWX, MaxProt: mem.ProtRWX, Fixed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(mem.MapArgs{Base: 0x8000, Len: 4096, Prot: mem.ProtRW, Fixed: true}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint32(buf[4*i:], w)
+	}
+	if _, err := as.WriteAt(buf, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	c := &CPU{AS: as}
+	c.Regs.PC = 0x1000
+	c.Regs.SP = 0x9000
+	return c
+}
+
+func stepOK(t *testing.T, c *CPU) {
+	t.Helper()
+	if tr := c.Step(); tr.Kind != TrapNone {
+		t.Fatalf("unexpected trap %+v at pc=%#x", tr, c.Regs.PC)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 7),
+		Encode(OpMOVI, 2, 0, 5),
+		Encode(OpADD, 1, 2, 0),         // r1 = 12
+		Encode(OpSUB, 1, 2, 0),         // r1 = 7
+		Encode(OpMUL, 1, 2, 0),         // r1 = 35
+		Encode(OpDIV, 1, 2, 0),         // r1 = 7
+		Encode(OpADDI, 1, 0, simm(-3)), // r1 = 4
+	)
+	for i := 0; i < 7; i++ {
+		stepOK(t, c)
+	}
+	if c.Regs.R[1] != 4 {
+		t.Fatalf("r1 = %d, want 4", c.Regs.R[1])
+	}
+	if c.Instret != 7 {
+		t.Fatalf("Instret = %d", c.Instret)
+	}
+}
+
+func TestMovHiBuildsConstant(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 3, 0, 0xBEEF),
+		Encode(OpMOVHI, 3, 0, 0xDEAD),
+	)
+	stepOK(t, c)
+	stepOK(t, c)
+	if c.Regs.R[3] != 0xDEADBEEF {
+		t.Fatalf("r3 = %#x", c.Regs.R[3])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 0x8000), // base
+		Encode(OpMOVI, 2, 0, 0x1234),
+		Encode(OpST, 2, 1, 8),
+		Encode(OpLD, 3, 1, 8),
+		Encode(OpMOVI, 4, 0, 0xAB),
+		Encode(OpSTB, 4, 1, 100),
+		Encode(OpLDB, 5, 1, 100),
+	)
+	for i := 0; i < 7; i++ {
+		stepOK(t, c)
+	}
+	if c.Regs.R[3] != 0x1234 {
+		t.Fatalf("r3 = %#x", c.Regs.R[3])
+	}
+	if c.Regs.R[5] != 0xAB {
+		t.Fatalf("r5 = %#x", c.Regs.R[5])
+	}
+}
+
+func TestBranching(t *testing.T) {
+	// Count down from 3: movi r1,3; loop: addi r1,-1; cmpi r1,0; jne loop; nop
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 3),
+		Encode(OpADDI, 1, 0, simm(-1)),
+		Encode(OpCMPI, 1, 0, 0),
+		Encode(OpJNE, 0, 0, simm(-12)),
+		Encode(OpNOP, 0, 0, 0),
+	)
+	for i := 0; i < 11; i++ { // 1 + 3*3 + 1 final nop
+		stepOK(t, c)
+	}
+	if c.Regs.R[1] != 0 {
+		t.Fatalf("r1 = %d", c.Regs.R[1])
+	}
+	if c.Regs.PC != 0x1000+5*4 {
+		t.Fatalf("pc = %#x", c.Regs.PC)
+	}
+}
+
+func TestSignedConditions(t *testing.T) {
+	// CMP -1 vs 1 → JLT should be taken.
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 0xFFFF),
+		Encode(OpMOVHI, 1, 0, 0xFFFF), // r1 = -1
+		Encode(OpMOVI, 2, 0, 1),
+		Encode(OpCMP, 1, 2, 0),
+		Encode(OpJLT, 0, 0, 4), // skip next word
+		Encode(OpIllegal, 0, 0, 0),
+		Encode(OpNOP, 0, 0, 0),
+	)
+	for i := 0; i < 5; i++ {
+		stepOK(t, c)
+	}
+	stepOK(t, c) // the NOP; the illegal word was skipped
+	if c.Regs.PC != 0x1000+7*4 {
+		t.Fatalf("pc = %#x", c.Regs.PC)
+	}
+}
+
+func TestCallRetPushPop(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 42),
+		Encode(OpPUSH, 1, 0, 0),
+		Encode(OpCALL, 0, 0, 8), // call 0x1000+12+8 = 0x1014
+		Encode(OpPOP, 2, 0, 0),  // after return
+		Encode(OpNOP, 0, 0, 0),  // 0x1010
+		Encode(OpRET, 0, 0, 0),  // 0x1014: the "function"
+	)
+	for i := 0; i < 5; i++ {
+		stepOK(t, c)
+	}
+	if c.Regs.R[2] != 42 {
+		t.Fatalf("r2 = %d", c.Regs.R[2])
+	}
+	if c.Regs.SP != 0x9000 {
+		t.Fatalf("sp = %#x", c.Regs.SP)
+	}
+}
+
+func TestSyscallTrap(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 0, 0, 4),
+		Encode(OpSYSCALL, 0, 0, 0),
+	)
+	stepOK(t, c)
+	tr := c.Step()
+	if tr.Kind != TrapSyscall {
+		t.Fatalf("trap = %+v", tr)
+	}
+	// PC advanced past the syscall so resumption continues after it.
+	if c.Regs.PC != 0x1008 {
+		t.Fatalf("pc = %#x", c.Regs.PC)
+	}
+}
+
+func TestBreakpointLeavesPC(t *testing.T) {
+	c := newCPU(t, Encode(OpBPT, 0, 0, 0))
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTBPT {
+		t.Fatalf("trap = %+v", tr)
+	}
+	// "The execution of the breakpoint instruction should leave the program
+	// counter ... preferably the breakpoint address itself."
+	if c.Regs.PC != 0x1000 {
+		t.Fatalf("pc = %#x, want 0x1000", c.Regs.PC)
+	}
+	if tr.Addr != 0x1000 {
+		t.Fatalf("addr = %#x", tr.Addr)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		word uint32
+		flt  int
+		pre  func(*CPU)
+	}{
+		{"illegal zero word", 0, types.FLTILL, nil},
+		{"unknown opcode", Encode(0x7F, 0, 0, 0), types.FLTILL, nil},
+		{"privileged", Encode(OpHLT, 0, 0, 0), types.FLTPRIV, nil},
+		{"divide by zero", Encode(OpDIV, 1, 2, 0), types.FLTIZDIV, func(c *CPU) { c.Regs.R[1] = 10; c.Regs.R[2] = 0 }},
+		{"mod by zero", Encode(OpMOD, 1, 2, 0), types.FLTIZDIV, func(c *CPU) { c.Regs.R[1] = 10 }},
+		{"div overflow", Encode(OpDIV, 1, 2, 0), types.FLTIOVF, func(c *CPU) { c.Regs.R[1] = 0x80000000; c.Regs.R[2] = 0xFFFFFFFF }},
+		{"mul overflow", Encode(OpMUL, 1, 2, 0), types.FLTIOVF, func(c *CPU) { c.Regs.R[1] = 0x10000; c.Regs.R[2] = 0x10000 }},
+		{"fp divide by zero", Encode(OpFDIV, 1, 2, 0), types.FLTFPE, nil},
+		{"unmapped load", Encode(OpLD, 1, 2, 0), types.FLTBOUNDS, func(c *CPU) { c.Regs.R[2] = 0x50000 }},
+		{"misaligned load", Encode(OpLD, 1, 2, 1), types.FLTBOUNDS, func(c *CPU) { c.Regs.R[2] = 0x8000 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCPU(t, tc.word)
+			if tc.pre != nil {
+				tc.pre(c)
+			}
+			tr := c.Step()
+			if tr.Kind != TrapFault || tr.Fault != tc.flt {
+				t.Fatalf("trap = %+v, want fault %s", tr, types.FltName(tc.flt))
+			}
+			if c.Regs.PC != 0x1000 {
+				t.Fatalf("pc advanced to %#x on a fault", c.Regs.PC)
+			}
+		})
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	// Store into the text page after making it read/exec.
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 0x1000),
+		Encode(OpST, 1, 1, 0),
+	)
+	if err := c.AS.Mprotect(0x1000, 4096, mem.ProtRX); err != nil {
+		t.Fatal(err)
+	}
+	stepOK(t, c)
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTACCESS {
+		t.Fatalf("trap = %+v", tr)
+	}
+}
+
+func TestExecFaultOnNonExecPage(t *testing.T) {
+	c := newCPU(t, Encode(OpNOP, 0, 0, 0))
+	c.Regs.PC = 0x8000 // data page, no exec permission
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTACCESS {
+		t.Fatalf("trap = %+v", tr)
+	}
+}
+
+func TestTraceBit(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 1),
+		Encode(OpMOVI, 2, 0, 2),
+	)
+	c.Regs.PSW |= FlagTrace
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTTRACE {
+		t.Fatalf("trap = %+v", tr)
+	}
+	// FLTTRACE is reported after the instruction completes.
+	if c.Regs.R[1] != 1 || c.Regs.PC != 0x1004 {
+		t.Fatalf("instruction did not complete before trace trap")
+	}
+}
+
+func TestStackFaultOnBadPush(t *testing.T) {
+	c := newCPU(t, Encode(OpPUSH, 1, 0, 0))
+	c.Regs.SP = 0x5000 // unmapped
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTSTACK {
+		t.Fatalf("trap = %+v, want FLTSTACK", tr)
+	}
+}
+
+func TestWatchpointTrap(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVI, 1, 0, 0x8000),
+		Encode(OpMOVI, 2, 0, 99),
+		Encode(OpST, 2, 1, 16),
+	)
+	c.AS.SetWatch(0x8010, 4, mem.ProtWrite)
+	stepOK(t, c)
+	stepOK(t, c)
+	tr := c.Step()
+	if tr.Kind != TrapFault || tr.Fault != types.FLTWATCH {
+		t.Fatalf("trap = %+v", tr)
+	}
+	if tr.Addr != 0x8010 {
+		t.Fatalf("watch addr = %#x", tr.Addr)
+	}
+	// The store did not happen (trap before modification).
+	var b [4]byte
+	c.AS.ReadAt(b[:], 0x8010)
+	if binary.BigEndian.Uint32(b[:]) != 0 {
+		t.Fatal("watched store should not have completed")
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpFMOVI, 1, 0, 3),
+		Encode(OpFMOVI, 2, 0, 4),
+		Encode(OpFADD, 1, 2, 0),
+		Encode(OpFMUL, 1, 2, 0),
+	)
+	for i := 0; i < 4; i++ {
+		stepOK(t, c)
+	}
+	if c.FP.F[1] != 28 {
+		t.Fatalf("f1 = %v", c.FP.F[1])
+	}
+}
+
+func TestMoveSP(t *testing.T) {
+	c := newCPU(t,
+		Encode(OpMOVSPR, 1, 0, 0),
+		Encode(OpADDI, 1, 0, simm(-8)),
+		Encode(OpMOVRSP, 1, 0, 0),
+	)
+	for i := 0; i < 3; i++ {
+		stepOK(t, c)
+	}
+	if c.Regs.SP != 0x9000-8 {
+		t.Fatalf("sp = %#x", c.Regs.SP)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for op := 1; op < NOpcodes; op++ {
+		w := Encode(op, 3, 5, 0xBEEF)
+		gop, ra, rb, imm := Decode(w)
+		if gop != op || ra != 3 || rb != 5 || imm != 0xBEEF {
+			t.Fatalf("round trip failed for op %d", op)
+		}
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	cases := map[uint32]string{
+		Encode(OpMOVI, 1, 0, 10):      "movi r1, 0xa",
+		Encode(OpADD, 1, 2, 0):        "add r1, r2",
+		Encode(OpLD, 3, 4, simm(-8)):  "ld r3, [r4-8]",
+		Encode(OpJMP, 0, 0, simm(-4)): "jmp 0x1000",
+		Encode(OpSYSCALL, 0, 0, 0):    "syscall",
+		Encode(OpBPT, 0, 0, 0):        "bpt",
+		0:                             ".word 0x00000000",
+	}
+	for w, want := range cases {
+		if got := Disasm(w, 0x1000); got != want {
+			t.Errorf("Disasm(%#x) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestOpNameTables(t *testing.T) {
+	if OpByName("movi") != OpMOVI {
+		t.Fatal("OpByName movi")
+	}
+	if OpByName("nonsense") != -1 {
+		t.Fatal("OpByName nonsense should be -1")
+	}
+	if OpName(OpBPT) != "bpt" {
+		t.Fatal("OpName bpt")
+	}
+	if OpName(200) != "" {
+		t.Fatal("OpName out of range")
+	}
+}

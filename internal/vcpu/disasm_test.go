@@ -1,0 +1,52 @@
+package vcpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every defined opcode disassembles to its mnemonic, and includes the
+// operand shapes its format declares.
+func TestDisasmCoversEveryOpcode(t *testing.T) {
+	for op := 1; op < NOpcodes; op++ {
+		name := OpName(op)
+		if name == "" || name == "(illegal)" {
+			continue
+		}
+		out := Disasm(Encode(op, 1, 2, 8), 0x1000)
+		if !strings.HasPrefix(out, name) {
+			t.Errorf("op %#x: Disasm = %q, want prefix %q", op, out, name)
+		}
+		switch OpFormat(op) {
+		case "a":
+			if !strings.Contains(out, "r1") {
+				t.Errorf("%s: missing ra: %q", name, out)
+			}
+		case "b":
+			if !strings.Contains(out, "r2") {
+				t.Errorf("%s: missing rb: %q", name, out)
+			}
+		case "ab":
+			if !strings.Contains(out, "r1") || !strings.Contains(out, "r2") {
+				t.Errorf("%s: missing regs: %q", name, out)
+			}
+		case "am":
+			if !strings.Contains(out, "[r2+8]") {
+				t.Errorf("%s: missing mem operand: %q", name, out)
+			}
+		}
+	}
+}
+
+// Round trip: OpByName(OpName(op)) == op for every named opcode.
+func TestOpcodeNameRoundTrip(t *testing.T) {
+	for op := 1; op < NOpcodes; op++ {
+		name := OpName(op)
+		if name == "" || name == "(illegal)" {
+			continue
+		}
+		if got := OpByName(name); got != op {
+			t.Errorf("OpByName(%q) = %#x, want %#x", name, got, op)
+		}
+	}
+}

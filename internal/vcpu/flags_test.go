@@ -1,0 +1,236 @@
+package vcpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// quickCPU builds a minimal CPU for property tests.
+func quickCPU() *CPU {
+	as := mem.NewAS(4096)
+	as.Map(mem.MapArgs{Base: 0x1000, Len: 4096, Prot: mem.ProtRWX, MaxProt: mem.ProtRWX, Fixed: true})
+	c := &CPU{AS: as}
+	c.Regs.PC = 0x1000
+	c.Regs.SP = 0x1800
+	return c
+}
+
+// exec1 runs a single instruction on fresh state and returns the CPU.
+func exec1(w uint32, setup func(*CPU)) *CPU {
+	c := quickCPU()
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	c.AS.WriteAt(b[:], 0x1000)
+	if setup != nil {
+		setup(c)
+	}
+	c.Step()
+	return c
+}
+
+// Property: ADD result and flags agree with wide arithmetic.
+func TestQuickAddFlags(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := exec1(Encode(OpADD, 1, 2, 0), func(c *CPU) {
+			c.Regs.R[1], c.Regs.R[2] = a, b
+		})
+		res := a + b
+		if c.Regs.R[1] != res {
+			return false
+		}
+		z := res == 0
+		n := res&0x80000000 != 0
+		carry := uint64(a)+uint64(b) > 0xFFFFFFFF
+		ovf := int64(int32(a))+int64(int32(b)) != int64(int32(res))
+		return c.flag(FlagZ) == z && c.flag(FlagN) == n &&
+			c.flag(FlagC) == carry && c.flag(FlagV) == ovf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SUB result and flags agree with wide arithmetic.
+func TestQuickSubFlags(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := exec1(Encode(OpSUB, 1, 2, 0), func(c *CPU) {
+			c.Regs.R[1], c.Regs.R[2] = a, b
+		})
+		res := a - b
+		if c.Regs.R[1] != res {
+			return false
+		}
+		borrow := a < b
+		ovf := int64(int32(a))-int64(int32(b)) != int64(int32(res))
+		return c.flag(FlagC) == borrow && c.flag(FlagV) == ovf &&
+			c.flag(FlagZ) == (res == 0) && c.flag(FlagN) == (res&0x80000000 != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: signed conditional jumps agree with Go's < > == on int32.
+func TestQuickSignedConditions(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := int32(a), int32(b)
+		cases := map[int]bool{
+			OpJE:  sa == sb,
+			OpJNE: sa != sb,
+			OpJLT: sa < sb,
+			OpJGE: sa >= sb,
+			OpJGT: sa > sb,
+			OpJLE: sa <= sb,
+		}
+		for op, want := range cases {
+			c := quickCPU()
+			c.Regs.R[1], c.Regs.R[2] = a, b
+			// cmp r1, r2; j<op> +8 (skip a word)
+			var prog [8]byte
+			w1 := Encode(OpCMP, 1, 2, 0)
+			w2 := Encode(op, 0, 0, 4)
+			prog[0], prog[1], prog[2], prog[3] = byte(w1>>24), byte(w1>>16), byte(w1>>8), byte(w1)
+			prog[4], prog[5], prog[6], prog[7] = byte(w2>>24), byte(w2>>16), byte(w2>>8), byte(w2)
+			c.AS.WriteAt(prog[:], 0x1000)
+			c.Step()
+			c.Step()
+			taken := c.Regs.PC == 0x1000+12
+			if taken != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DIV/MOD match Go semantics when defined.
+func TestQuickDivMod(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := int32(a), int32(b)
+		if sb == 0 || (sa == -1<<31 && sb == -1) {
+			return true // faults, covered elsewhere
+		}
+		c := exec1(Encode(OpDIV, 1, 2, 0), func(c *CPU) {
+			c.Regs.R[1], c.Regs.R[2] = a, b
+		})
+		if int32(c.Regs.R[1]) != sa/sb {
+			return false
+		}
+		c = exec1(Encode(OpMOD, 1, 2, 0), func(c *CPU) {
+			c.Regs.R[1], c.Regs.R[2] = a, b
+		})
+		return int32(c.Regs.R[1]) == sa%sb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PUSH then POP restores the value and SP.
+func TestQuickPushPop(t *testing.T) {
+	f := func(v uint32) bool {
+		c := quickCPU()
+		c.Regs.R[3] = v
+		words := []uint32{Encode(OpPUSH, 3, 0, 0), Encode(OpPOP, 4, 0, 0)}
+		var prog []byte
+		for _, w := range words {
+			prog = append(prog, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		}
+		c.AS.WriteAt(prog, 0x1000)
+		sp := c.Regs.SP
+		c.Step()
+		c.Step()
+		return c.Regs.R[4] == v && c.Regs.SP == sp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: logical ops match Go.
+func TestQuickLogicalOps(t *testing.T) {
+	f := func(a, b uint32, sh uint8) bool {
+		shift := uint16(sh % 32)
+		checks := []struct {
+			op   int
+			want uint32
+			imm  uint16
+		}{
+			{OpAND, a & b, 0},
+			{OpOR, a | b, 0},
+			{OpXOR, a ^ b, 0},
+			{OpSHL, a << shift, shift},
+			{OpSHR, a >> shift, shift},
+			{OpNOT, ^a, 0},
+		}
+		for _, ck := range checks {
+			c := exec1(Encode(ck.op, 1, 2, ck.imm), func(c *CPU) {
+				c.Regs.R[1], c.Regs.R[2] = a, b
+			})
+			if c.Regs.R[1] != ck.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallRJr(t *testing.T) {
+	c := quickCPU()
+	c.Regs.R[5] = 0x1010
+	words := []uint32{
+		Encode(OpCALLR, 0, 5, 0), // 0x1000: call *r5 -> 0x1010
+		0, 0, 0,
+		Encode(OpJR, 0, 6, 0), // 0x1010: jr r6
+	}
+	var prog []byte
+	for _, w := range words {
+		prog = append(prog, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	c.AS.WriteAt(prog, 0x1000)
+	c.Regs.R[6] = 0x1004
+	if tr := c.Step(); tr.Kind != TrapNone {
+		t.Fatalf("callr: %+v", tr)
+	}
+	if c.Regs.PC != 0x1010 {
+		t.Fatalf("pc = %#x", c.Regs.PC)
+	}
+	// Return address pushed.
+	var b [4]byte
+	c.AS.ReadAt(b[:], int64(c.Regs.SP))
+	if got := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]); got != 0x1004 {
+		t.Fatalf("pushed ra = %#x", got)
+	}
+	if tr := c.Step(); tr.Kind != TrapNone {
+		t.Fatalf("jr: %+v", tr)
+	}
+	if c.Regs.PC != 0x1004 {
+		t.Fatalf("jr pc = %#x", c.Regs.PC)
+	}
+}
+
+func TestRegsString(t *testing.T) {
+	var r Regs
+	r.PC = 0x80000000
+	s := r.String()
+	if len(s) == 0 || s[:2] != "r0" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMisalignedPCFaults(t *testing.T) {
+	c := quickCPU()
+	c.Regs.PC = 0x1002
+	tr := c.Step()
+	if tr.Kind != TrapFault {
+		t.Fatalf("trap = %+v", tr)
+	}
+}

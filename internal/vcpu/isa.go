@@ -1,0 +1,207 @@
+// Package vcpu implements the virtual CPU on which user programs execute.
+//
+// The paper's process-control machinery is defined in terms of machine-level
+// events — breakpoint instructions, illegal and privileged instructions,
+// traced (single-step) execution, memory access faults, integer and floating
+// point exceptions. Reproducing /proc therefore requires a real (if small)
+// instruction set architecture. This one is a 32-bit RISC-like machine with
+// the properties the paper calls out: a dedicated breakpoint instruction
+// (BPT) whose execution leaves the program counter at the breakpoint address
+// itself, a privileged instruction (HLT), and a trace bit in the processor
+// status word that raises FLTTRACE after each completed instruction.
+//
+// Instructions are one 32-bit big-endian word:
+//
+//	| opcode:8 | ra:4 | rb:4 | imm:16 |
+//
+// The machine has eight general registers R0..R7, a program counter, a stack
+// pointer, a status word, and eight floating-point registers (so that the
+// PIOCGFPREG/PIOCSFPREG operations have something real to transfer).
+package vcpu
+
+import "fmt"
+
+// Opcodes.
+const (
+	OpIllegal = 0x00 // a zero word is an illegal instruction (FLTILL)
+	OpMOVI    = 0x01 // ra <- imm (zero-extended)
+	OpMOVHI   = 0x02 // ra <- imm<<16 | (ra & 0xFFFF)
+	OpMOV     = 0x03 // ra <- rb
+	OpADD     = 0x04 // ra <- ra + rb
+	OpADDI    = 0x05 // ra <- ra + simm
+	OpSUB     = 0x06 // ra <- ra - rb
+	OpMUL     = 0x07 // ra <- ra * rb (FLTIOVF on signed overflow)
+	OpDIV     = 0x08 // ra <- ra / rb (FLTIZDIV on rb==0, FLTIOVF on MinInt/-1)
+	OpMOD     = 0x09 // ra <- ra % rb (FLTIZDIV on rb==0)
+	OpAND     = 0x0A // ra <- ra & rb
+	OpOR      = 0x0B // ra <- ra | rb
+	OpXOR     = 0x0C // ra <- ra ^ rb
+	OpSHL     = 0x0D // ra <- ra << imm
+	OpSHR     = 0x0E // ra <- ra >> imm (logical)
+	OpNOT     = 0x0F // ra <- ^ra
+	OpLD      = 0x10 // ra <- mem32[rb + simm]
+	OpST      = 0x11 // mem32[rb + simm] <- ra
+	OpLDB     = 0x12 // ra <- zeroext mem8[rb + simm]
+	OpSTB     = 0x13 // mem8[rb + simm] <- ra & 0xFF
+	OpCMP     = 0x14 // set flags from ra - rb
+	OpCMPI    = 0x15 // set flags from ra - simm
+	OpJMP     = 0x16 // pc <- pc + 4 + simm
+	OpJE      = 0x17 // conditional jumps (signed comparisons)
+	OpJNE     = 0x18
+	OpJLT     = 0x19
+	OpJGE     = 0x1A
+	OpJGT     = 0x1B
+	OpJLE     = 0x1C
+	OpJR      = 0x1D // pc <- rb
+	OpCALL    = 0x1E // push pc+4; pc <- pc + 4 + simm
+	OpCALLR   = 0x1F // push pc+4; pc <- rb
+	OpRET     = 0x20 // pc <- pop
+	OpPUSH    = 0x21 // sp -= 4; mem32[sp] <- ra
+	OpPOP     = 0x22 // ra <- mem32[sp]; sp += 4
+	OpSYSCALL = 0x23 // trap to kernel: number in R0, args in R1..R5
+	OpBPT     = 0x24 // breakpoint trap (FLTBPT); pc left at the BPT itself
+	OpHLT     = 0x25 // privileged instruction (FLTPRIV from user mode)
+	OpNOP     = 0x26
+	OpFMOVI   = 0x27 // f[ra] <- float64(simm)
+	OpFADD    = 0x28 // f[ra] <- f[ra] + f[rb]
+	OpFMUL    = 0x29 // f[ra] <- f[ra] * f[rb]
+	OpFDIV    = 0x2A // f[ra] <- f[ra] / f[rb] (FLTFPE on f[rb]==0)
+	OpMOVSPR  = 0x2B // ra <- sp
+	OpMOVRSP  = 0x2C // sp <- ra
+	OpSHLR    = 0x2D // ra <- ra << (rb & 31)
+	OpSHRR    = 0x2E // ra <- ra >> (rb & 31) (logical)
+	NOpcodes  = 0x2F
+)
+
+// InstrSize is the size of every instruction in bytes. On this fixed-width
+// machine the breakpoint instruction trivially satisfies the paper's rule
+// that it be no longer than the shortest instruction.
+const InstrSize = 4
+
+// opInfo describes an opcode for the assembler and disassembler.
+type opInfo struct {
+	Name string
+	Fmt  string // operand format: "", "a", "ab", "ai", "abi", "i", "am" (mem), "f..."
+}
+
+var opTable = [NOpcodes]opInfo{
+	OpIllegal: {"(illegal)", ""},
+	OpMOVI:    {"movi", "ai"},
+	OpMOVHI:   {"movhi", "ai"},
+	OpMOV:     {"mov", "ab"},
+	OpADD:     {"add", "ab"},
+	OpADDI:    {"addi", "ai"},
+	OpSUB:     {"sub", "ab"},
+	OpMUL:     {"mul", "ab"},
+	OpDIV:     {"div", "ab"},
+	OpMOD:     {"mod", "ab"},
+	OpAND:     {"and", "ab"},
+	OpOR:      {"or", "ab"},
+	OpXOR:     {"xor", "ab"},
+	OpSHL:     {"shl", "ai"},
+	OpSHR:     {"shr", "ai"},
+	OpNOT:     {"not", "a"},
+	OpLD:      {"ld", "am"},
+	OpST:      {"st", "am"},
+	OpLDB:     {"ldb", "am"},
+	OpSTB:     {"stb", "am"},
+	OpCMP:     {"cmp", "ab"},
+	OpCMPI:    {"cmpi", "ai"},
+	OpJMP:     {"jmp", "i"},
+	OpJE:      {"je", "i"},
+	OpJNE:     {"jne", "i"},
+	OpJLT:     {"jlt", "i"},
+	OpJGE:     {"jge", "i"},
+	OpJGT:     {"jgt", "i"},
+	OpJLE:     {"jle", "i"},
+	OpJR:      {"jr", "b"},
+	OpCALL:    {"call", "i"},
+	OpCALLR:   {"callr", "b"},
+	OpRET:     {"ret", ""},
+	OpPUSH:    {"push", "a"},
+	OpPOP:     {"pop", "a"},
+	OpSYSCALL: {"syscall", ""},
+	OpBPT:     {"bpt", ""},
+	OpHLT:     {"hlt", ""},
+	OpNOP:     {"nop", ""},
+	OpFMOVI:   {"fmovi", "ai"},
+	OpFADD:    {"fadd", "ab"},
+	OpFMUL:    {"fmul", "ab"},
+	OpFDIV:    {"fdiv", "ab"},
+	OpMOVSPR:  {"movspr", "a"},
+	OpMOVRSP:  {"movrsp", "a"},
+	OpSHLR:    {"shlr", "ab"},
+	OpSHRR:    {"shrr", "ab"},
+}
+
+// OpName returns the mnemonic for an opcode, or "" if unknown.
+func OpName(op int) string {
+	if op >= 0 && op < NOpcodes {
+		return opTable[op].Name
+	}
+	return ""
+}
+
+// OpByName returns the opcode for a mnemonic, or -1 if unknown.
+func OpByName(name string) int {
+	for op, info := range opTable {
+		if info.Name == name && name != "" {
+			return op
+		}
+	}
+	return -1
+}
+
+// OpFormat returns the operand format string for the assembler.
+func OpFormat(op int) string {
+	if op >= 0 && op < NOpcodes {
+		return opTable[op].Fmt
+	}
+	return ""
+}
+
+// Encode packs an instruction word.
+func Encode(op, ra, rb int, imm uint16) uint32 {
+	return uint32(op&0xFF)<<24 | uint32(ra&0xF)<<20 | uint32(rb&0xF)<<16 | uint32(imm)
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) (op, ra, rb int, imm uint16) {
+	return int(w >> 24), int(w >> 20 & 0xF), int(w >> 16 & 0xF), uint16(w)
+}
+
+// BreakpointWord is the encoded approved breakpoint instruction, for
+// debuggers to plant via /proc address-space writes.
+var BreakpointWord = Encode(OpBPT, 0, 0, 0)
+
+// Disasm renders one instruction word as assembly. pc is the address of the
+// instruction (used to resolve pc-relative targets).
+func Disasm(w uint32, pc uint32) string {
+	op, ra, rb, imm := Decode(w)
+	if op <= 0 || op >= NOpcodes || opTable[op].Name == "(illegal)" {
+		return fmt.Sprintf(".word %#08x", w)
+	}
+	info := opTable[op]
+	simm := int32(int16(imm))
+	switch info.Fmt {
+	case "":
+		return info.Name
+	case "a":
+		return fmt.Sprintf("%s r%d", info.Name, ra)
+	case "b":
+		return fmt.Sprintf("%s r%d", info.Name, rb)
+	case "ab":
+		return fmt.Sprintf("%s r%d, r%d", info.Name, ra, rb)
+	case "ai":
+		if op == OpMOVI || op == OpMOVHI {
+			return fmt.Sprintf("%s r%d, %#x", info.Name, ra, imm)
+		}
+		return fmt.Sprintf("%s r%d, %d", info.Name, ra, simm)
+	case "i":
+		target := uint32(int64(pc) + InstrSize + int64(simm))
+		return fmt.Sprintf("%s %#x", info.Name, target)
+	case "am":
+		return fmt.Sprintf("%s r%d, [r%d%+d]", info.Name, ra, rb, simm)
+	}
+	return fmt.Sprintf(".word %#08x", w)
+}

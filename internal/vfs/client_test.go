@@ -1,0 +1,162 @@
+package vfs_test
+
+import (
+	"testing"
+
+	"repro/internal/memfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+func clientFixture() (*memfs.FS, *vfs.Client) {
+	fs := memfs.New(nil)
+	ns := vfs.NewNS(fs.Root())
+	return fs, &vfs.Client{NS: ns, Cred: types.RootCred()}
+}
+
+func TestClientOpenCreate(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.MkdirAll("/d", 0o777)
+	f, err := cl.Open("/d/new", vfs.OWrite|vfs.OCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := cl.ReadFile("/d/new")
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("%q %v", data, err)
+	}
+	// OCreat on an existing file opens it.
+	g, err := cl.Open("/d/new", vfs.ORead|vfs.OCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	// OCreat in a missing directory propagates the lookup error.
+	if _, err := cl.Open("/nodir/x", vfs.OWrite|vfs.OCreat); err == nil {
+		t.Fatal("create in missing dir should fail")
+	}
+}
+
+func TestClientReadFileLarge(t *testing.T) {
+	fs, cl := clientFixture()
+	big := make([]byte, 40000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	fs.WriteFile("/big", big, 0o644, 0, 0)
+	got, err := cl.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(big) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestClientReadDirErrors(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.WriteFile("/f", []byte("x"), 0o644, 0, 0)
+	if _, err := cl.ReadDir("/f"); err != vfs.ErrNotDir {
+		t.Fatalf("readdir of file: %v", err)
+	}
+	if _, err := cl.ReadDir("/missing"); err != vfs.ErrNotExist {
+		t.Fatalf("readdir of missing: %v", err)
+	}
+	// ReadDir requires read permission on the directory.
+	fs.MkdirAll("/locked", 0o311)
+	user := &vfs.Client{NS: cl.NS, Cred: types.UserCred(5, 5)}
+	if _, err := user.ReadDir("/locked"); err != vfs.ErrPerm {
+		t.Fatalf("readdir without r: %v", err)
+	}
+}
+
+func TestLookupThroughFileFails(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.WriteFile("/f", []byte("x"), 0o644, 0, 0)
+	if _, err := cl.Stat("/f/sub"); err != vfs.ErrNotDir {
+		t.Fatalf("lookup through file: %v", err)
+	}
+}
+
+func TestLookupDirOfRootComponent(t *testing.T) {
+	_, cl := clientFixture()
+	if _, _, err := cl.NS.LookupDir("/", cl.Cred); err != vfs.ErrInval {
+		t.Fatalf("LookupDir of /: %v", err)
+	}
+	dw, name, err := cl.NS.LookupDir("/top", cl.Cred)
+	if err != nil || name != "top" || dw == nil {
+		t.Fatalf("%v %q", err, name)
+	}
+}
+
+func TestMountSplicesSubtree(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.MkdirAll("/mnt", 0o755)
+	other := memfs.New(nil)
+	other.WriteFile("/inside", []byte("mounted"), 0o644, 0, 0)
+	if err := cl.NS.Mount("/mnt", other.Root()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.ReadFile("/mnt/inside")
+	if err != nil || string(data) != "mounted" {
+		t.Fatalf("%q %v", data, err)
+	}
+	// The covered directory's own content is hidden.
+	fs.WriteFile("/mnt/hidden", []byte("x"), 0o644, 0, 0)
+	if _, err := cl.Stat("/mnt/hidden"); err != vfs.ErrNotExist {
+		t.Fatalf("covered entry visible: %v", err)
+	}
+}
+
+func TestRootMountOverride(t *testing.T) {
+	_, cl := clientFixture()
+	other := memfs.New(nil)
+	other.WriteFile("/only", nil, 0o644, 0, 0)
+	if err := cl.NS.Mount("/", other.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat("/only"); err != nil {
+		t.Fatalf("root mount not honored: %v", err)
+	}
+}
+
+func TestSeekEndUsesAttr(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.WriteFile("/f", []byte("0123456789"), 0o644, 0, 0)
+	f, _ := cl.Open("/f", vfs.ORead)
+	defer f.Close()
+	off, err := f.Seek(-4, vfs.SeekEnd)
+	if err != nil || off != 6 {
+		t.Fatalf("off=%d err=%v", off, err)
+	}
+	buf := make([]byte, 4)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "6789" {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestIoctlOnClosedFile(t *testing.T) {
+	fs, cl := clientFixture()
+	fs.WriteFile("/f", []byte("x"), 0o644, 0, 0)
+	f, _ := cl.Open("/f", vfs.ORead)
+	f.Close()
+	if err := f.Ioctl(1, nil); err != vfs.ErrBadFD {
+		t.Fatalf("ioctl after close: %v", err)
+	}
+	if _, err := f.Seek(0, vfs.SeekSet); err != vfs.ErrBadFD {
+		t.Fatalf("seek after close: %v", err)
+	}
+	if f.Poll(vfs.PollIn) != 0 {
+		t.Fatal("poll after close should be 0")
+	}
+}

@@ -1,0 +1,109 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// fakePollHandle is a controllable Poller.
+type fakePollHandle struct {
+	ready int
+}
+
+func (h *fakePollHandle) HRead(p []byte, off int64) (int, error)  { return 0, EOF }
+func (h *fakePollHandle) HWrite(p []byte, off int64) (int, error) { return len(p), nil }
+func (h *fakePollHandle) HIoctl(cmd int, arg interface{}) error   { return ErrNoIoctl }
+func (h *fakePollHandle) HClose() error                           { return nil }
+func (h *fakePollHandle) HPoll(mask int) int                      { return h.ready & mask }
+
+type fakeVnode struct{}
+
+func (fakeVnode) VAttr() (Attr, error) { return Attr{Type: VREG, Mode: 0o666}, nil }
+func (fakeVnode) VOpen(flags int, c types.Cred) (Handle, error) {
+	return &fakePollHandle{}, nil
+}
+
+func TestPollReturnsReadyIndex(t *testing.T) {
+	h1, h2 := &fakePollHandle{}, &fakePollHandle{}
+	f1 := &File{VN: fakeVnode{}, H: h1, Flags: ORead}
+	f2 := &File{VN: fakeVnode{}, H: h2, Flags: ORead}
+	steps := 0
+	idx, ev, err := Poll([]*File{f1, f2}, PollPri, func() bool {
+		steps++
+		if steps == 3 {
+			h2.ready = PollPri
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || ev != PollPri {
+		t.Fatalf("idx=%d ev=%d", idx, ev)
+	}
+	if steps != 3 {
+		t.Fatalf("steps = %d", steps)
+	}
+}
+
+func TestPollDeadlock(t *testing.T) {
+	h := &fakePollHandle{}
+	f := &File{VN: fakeVnode{}, H: h, Flags: ORead}
+	_, _, err := Poll([]*File{f}, PollPri, func() bool { return false })
+	if err != ErrWouldDead {
+		t.Fatalf("err = %v, want ErrWouldDead", err)
+	}
+}
+
+func TestPollMaskFiltering(t *testing.T) {
+	h := &fakePollHandle{ready: PollOut}
+	f := &File{VN: fakeVnode{}, H: h, Flags: ORead | OWrite}
+	// Asking for PollPri only: the PollOut readiness must not match.
+	if r := f.Poll(PollPri); r != 0 {
+		t.Fatalf("poll = %#x", r)
+	}
+	if r := f.Poll(PollOut | PollPri); r != PollOut {
+		t.Fatalf("poll = %#x", r)
+	}
+}
+
+func TestFileSeekInvalidWhence(t *testing.T) {
+	f := &File{VN: fakeVnode{}, H: &fakePollHandle{}, Flags: ORead}
+	if _, err := f.Seek(0, 99); err != ErrInval {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileIncRefSharing(t *testing.T) {
+	f := &File{VN: fakeVnode{}, H: &fakePollHandle{}, Flags: ORead}
+	f.IncRef()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Closed() {
+		t.Fatal("first close with an extra ref should not close")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Closed() {
+		t.Fatal("last close should close")
+	}
+	if err := f.Close(); err != ErrBadFD {
+		t.Fatal("close after last close should be EBADF")
+	}
+}
+
+func TestNSMountConflicts(t *testing.T) {
+	ns := NewNS(nil)
+	if err := ns.Mount("/proc", fakeVnode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/proc", fakeVnode{}); err != ErrBusy {
+		t.Fatalf("double mount: %v", err)
+	}
+	if err := ns.Mount("/proc/", fakeVnode{}); err != ErrBusy {
+		t.Fatal("mount of equivalent path should conflict")
+	}
+}

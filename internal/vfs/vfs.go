@@ -1,0 +1,505 @@
+// Package vfs is the Virtual File System architecture of the simulated
+// system: the clean separation of file system code into generic
+// (file-system-independent) and specific (file-system-dependent) pieces with
+// a well-defined but narrow interface between them. As in SVR4, the
+// fundamental data structure manipulated by the generic code is the vnode;
+// the developer of a file system type provides the code that implements the
+// necessary set of vnode operations for that type. Within this framework the
+// construction of the "fantasy world" — the illusion that processes are
+// actually files — is straightforward, and any resource can be made to
+// appear within the file system name space if it makes sense to view it that
+// way.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// VType is a vnode type.
+type VType int
+
+// Vnode types.
+const (
+	VREG  VType = iota // regular file
+	VDIR               // directory
+	VPROC              // process file (the /proc fantasy world)
+	VFIFO              // pipe
+)
+
+// Mode permission bits (octal), plus the set-id bits honored by exec.
+const (
+	ModeSetUID = 0o4000
+	ModeSetGID = 0o2000
+)
+
+// Attr is the public attribute data of a vnode — the information maintained
+// by the upper level or that does not change over the life of the file.
+type Attr struct {
+	Type  VType
+	Mode  uint16 // permission bits incl. set-id bits
+	UID   int
+	GID   int
+	Size  int64
+	MTime int64 // modification time (simulated clock ticks)
+	Nlink int
+}
+
+// IsSetID reports whether the file has the setuid or setgid bit.
+func (a Attr) IsSetID() bool { return a.Mode&(ModeSetUID|ModeSetGID) != 0 }
+
+// Open flags.
+const (
+	ORead  = 1 << iota // open for reading
+	OWrite             // open for writing
+	OExcl              // exclusive open (for /proc: exclusive write access)
+	OCreat             // create if missing
+	OTrunc             // truncate to zero length
+)
+
+// Poll event mask bits.
+const (
+	PollIn  = 1 << iota // readable
+	PollOut             // writable
+	PollPri             // exceptional condition (a /proc stop is one)
+)
+
+// Common error values, the moral equivalents of the UNIX errnos.
+var (
+	ErrNotExist  = errors.New("no such file or directory")          // ENOENT
+	ErrPerm      = errors.New("permission denied")                  // EACCES
+	ErrNotDir    = errors.New("not a directory")                    // ENOTDIR
+	ErrIsDir     = errors.New("is a directory")                     // EISDIR
+	ErrExist     = errors.New("file exists")                        // EEXIST
+	ErrBusy      = errors.New("device busy")                        // EBUSY
+	ErrInval     = errors.New("invalid argument")                   // EINVAL
+	ErrNotSup    = errors.New("operation not supported by fs type") // ENOSYS
+	ErrBadFD     = errors.New("bad file descriptor")                // EBADF
+	ErrAgain     = errors.New("resource temporarily unavailable")   // EAGAIN
+	ErrNoIoctl   = errors.New("inappropriate ioctl for device")     // ENOTTY
+	ErrStale     = errors.New("stale /proc file descriptor")        // the set-id invalidation
+	ErrWouldDead = errors.New("poll would deadlock: nothing runnable")
+)
+
+// Vnode is the system's internal representation of a file; it provides the
+// handle by which file manipulations are performed.
+type Vnode interface {
+	// VAttr returns the vnode attributes.
+	VAttr() (Attr, error)
+	// VOpen prepares the vnode for I/O, performing type-specific permission
+	// checks, and returns a Handle carrying the open state.
+	VOpen(flags int, c types.Cred) (Handle, error)
+}
+
+// Dir is a vnode that supports name lookup — a directory.
+type Dir interface {
+	Vnode
+	// VLookup resolves one path component.
+	VLookup(name string, c types.Cred) (Vnode, error)
+	// VReadDir lists the directory.
+	VReadDir(c types.Cred) ([]Dirent, error)
+}
+
+// DirWriter is a directory that supports creating and removing entries.
+type DirWriter interface {
+	Dir
+	VCreate(name string, mode uint16, c types.Cred) (Vnode, error)
+	VMkdir(name string, mode uint16, c types.Cred) (Dir, error)
+	VRemove(name string, c types.Cred) error
+}
+
+// Dirent is one directory entry.
+type Dirent struct {
+	Name string
+	Attr Attr
+}
+
+// Handle is the per-open state of a vnode, through which I/O and control
+// operations flow.
+type Handle interface {
+	// HRead reads at an absolute offset.
+	HRead(p []byte, off int64) (int, error)
+	// HWrite writes at an absolute offset.
+	HWrite(p []byte, off int64) (int, error)
+	// HIoctl performs a control operation.
+	HIoctl(cmd int, arg interface{}) error
+	// HClose releases the open state.
+	HClose() error
+}
+
+// Poller is implemented by handles that support poll(2). The /proc polling
+// extension proposed in the paper hangs off this.
+type Poller interface {
+	// HPoll returns the ready events among those requested.
+	HPoll(mask int) int
+}
+
+// CheckAccess implements the classic UNIX permission check of want
+// (a bitmask of 4=read, 2=write, 1=exec) against the attribute bits.
+func CheckAccess(a Attr, c types.Cred, want uint16) error {
+	if c.IsSuper() {
+		return nil
+	}
+	var perm uint16
+	switch {
+	case c.EUID == a.UID:
+		perm = a.Mode >> 6
+	case c.InGroup(a.GID):
+		perm = a.Mode >> 3
+	default:
+		perm = a.Mode
+	}
+	if want&^(perm&7) != 0 {
+		return ErrPerm
+	}
+	return nil
+}
+
+// NS is a name space: a root directory plus a mount table. Mounting a file
+// system type's root vnode over a path splices it into the name space, which
+// is how /proc appears alongside conventional file systems.
+type NS struct {
+	root   Dir
+	mounts map[string]Vnode
+}
+
+// NewNS returns a name space rooted at root.
+func NewNS(root Dir) *NS {
+	return &NS{root: root, mounts: make(map[string]Vnode)}
+}
+
+// Mount splices a file system root over path.
+func (ns *NS) Mount(path string, root Vnode) error {
+	clean := Clean(path)
+	if _, dup := ns.mounts[clean]; dup {
+		return ErrBusy
+	}
+	ns.mounts[clean] = root
+	return nil
+}
+
+// Clean normalizes a path: absolute, no trailing slash, no empty components.
+func Clean(path string) string {
+	parts := Split(path)
+	return "/" + strings.Join(parts, "/")
+}
+
+// Split breaks a path into components, ignoring empty ones and ".".
+func Split(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Lookup resolves an absolute path to a vnode, honoring mounts. Directory
+// search permission is required at each step.
+func (ns *NS) Lookup(path string, c types.Cred) (Vnode, error) {
+	var cur Vnode = ns.root
+	if m, ok := ns.mounts["/"]; ok {
+		cur = m
+	}
+	walked := ""
+	for _, name := range Split(path) {
+		dir, ok := cur.(Dir)
+		if !ok {
+			return nil, ErrNotDir
+		}
+		attr, err := dir.VAttr()
+		if err != nil {
+			return nil, err
+		}
+		if err := CheckAccess(attr, c, 1); err != nil {
+			return nil, err
+		}
+		next, err := dir.VLookup(name, c)
+		if err != nil {
+			return nil, err
+		}
+		walked += "/" + name
+		if m, ok := ns.mounts[walked]; ok {
+			next = m
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// LookupDir resolves the parent directory of path and returns it with the
+// final component, for create/remove operations.
+func (ns *NS) LookupDir(path string, c types.Cred) (DirWriter, string, error) {
+	parts := Split(path)
+	if len(parts) == 0 {
+		return nil, "", ErrInval
+	}
+	parent := "/" + strings.Join(parts[:len(parts)-1], "/")
+	vn, err := ns.Lookup(parent, c)
+	if err != nil {
+		return nil, "", err
+	}
+	dw, ok := vn.(DirWriter)
+	if !ok {
+		return nil, "", ErrNotSup
+	}
+	return dw, parts[len(parts)-1], nil
+}
+
+// File is an open file description: a vnode, its open handle, the current
+// offset and the open flags. It is shared by user processes (through their
+// file descriptor tables) and by controlling programs.
+type File struct {
+	VN     Vnode
+	H      Handle
+	Flags  int
+	Offset int64
+	closed bool
+	extra  int // extra references beyond the first (fork/dup sharing)
+}
+
+// IncRef adds a reference to the open file description; fork(2) and dup(2)
+// share descriptions rather than duplicating them, so the offset is shared
+// and the handle is closed only on the last close.
+func (f *File) IncRef() { f.extra++ }
+
+// Read reads sequentially from the current offset.
+func (f *File) Read(p []byte) (int, error) {
+	if f.closed || f.Flags&ORead == 0 {
+		return 0, ErrBadFD
+	}
+	n, err := f.H.HRead(p, f.Offset)
+	f.Offset += int64(n)
+	return n, err
+}
+
+// Write writes sequentially at the current offset.
+func (f *File) Write(p []byte) (int, error) {
+	if f.closed || f.Flags&OWrite == 0 {
+		return 0, ErrBadFD
+	}
+	n, err := f.H.HWrite(p, f.Offset)
+	f.Offset += int64(n)
+	return n, err
+}
+
+// Pread reads at an absolute offset without moving the file offset.
+func (f *File) Pread(p []byte, off int64) (int, error) {
+	if f.closed || f.Flags&ORead == 0 {
+		return 0, ErrBadFD
+	}
+	return f.H.HRead(p, off)
+}
+
+// Pwrite writes at an absolute offset without moving the file offset.
+func (f *File) Pwrite(p []byte, off int64) (int, error) {
+	if f.closed || f.Flags&OWrite == 0 {
+		return 0, ErrBadFD
+	}
+	return f.H.HWrite(p, off)
+}
+
+// Seek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Seek repositions the offset; applying lseek to position the file at the
+// virtual address of interest is how /proc address-space I/O is addressed.
+func (f *File) Seek(off int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, ErrBadFD
+	}
+	switch whence {
+	case SeekSet:
+		f.Offset = off
+	case SeekCur:
+		f.Offset += off
+	case SeekEnd:
+		attr, err := f.VN.VAttr()
+		if err != nil {
+			return 0, err
+		}
+		f.Offset = attr.Size + off
+	default:
+		return 0, ErrInval
+	}
+	return f.Offset, nil
+}
+
+// Ioctl performs a control operation on the open file.
+func (f *File) Ioctl(cmd int, arg interface{}) error {
+	if f.closed {
+		return ErrBadFD
+	}
+	return f.H.HIoctl(cmd, arg)
+}
+
+// Poll returns the ready events among mask, or 0 for handles that do not
+// support polling.
+func (f *File) Poll(mask int) int {
+	if f.closed {
+		return 0
+	}
+	if p, ok := f.H.(Poller); ok {
+		return p.HPoll(mask)
+	}
+	return 0
+}
+
+// Close drops one reference to the open file; the handle is released when
+// the last reference is closed. Closing an already-closed file returns
+// ErrBadFD.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrBadFD
+	}
+	if f.extra > 0 {
+		f.extra--
+		return nil
+	}
+	f.closed = true
+	return f.H.HClose()
+}
+
+// Closed reports whether Close has been called.
+func (f *File) Closed() bool { return f.closed }
+
+// Client is a controlling program's view of a name space: a credential plus
+// path-based convenience operations. Debuggers, ps and truss act through a
+// Client exactly as user-level SVR4 programs act through the system call
+// interface.
+type Client struct {
+	NS   *NS
+	Cred types.Cred
+}
+
+// Open opens a path.
+func (cl *Client) Open(path string, flags int) (*File, error) {
+	if flags&OCreat != 0 {
+		if _, err := cl.NS.Lookup(path, cl.Cred); err == ErrNotExist {
+			dw, name, derr := cl.NS.LookupDir(path, cl.Cred)
+			if derr != nil {
+				return nil, derr
+			}
+			if _, cerr := dw.VCreate(name, 0o644, cl.Cred); cerr != nil {
+				return nil, cerr
+			}
+		}
+	}
+	vn, err := cl.NS.Lookup(path, cl.Cred)
+	if err != nil {
+		return nil, err
+	}
+	h, err := vn.VOpen(flags, cl.Cred)
+	if err != nil {
+		return nil, err
+	}
+	return &File{VN: vn, H: h, Flags: flags}, nil
+}
+
+// Stat returns the attributes of a path.
+func (cl *Client) Stat(path string) (Attr, error) {
+	vn, err := cl.NS.Lookup(path, cl.Cred)
+	if err != nil {
+		return Attr{}, err
+	}
+	return vn.VAttr()
+}
+
+// ReadDir lists a directory path.
+func (cl *Client) ReadDir(path string) ([]Dirent, error) {
+	vn, err := cl.NS.Lookup(path, cl.Cred)
+	if err != nil {
+		return nil, err
+	}
+	dir, ok := vn.(Dir)
+	if !ok {
+		return nil, ErrNotDir
+	}
+	attr, err := dir.VAttr()
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckAccess(attr, cl.Cred, 4); err != nil {
+		return nil, err
+	}
+	return dir.VReadDir(cl.Cred)
+}
+
+// ReadFile reads an entire regular file.
+func (cl *Client) ReadFile(path string) ([]byte, error) {
+	f, err := cl.Open(path, ORead)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 8192)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil || n == 0 {
+			if err != nil && err.Error() == "EOF" {
+				err = nil
+			}
+			return out, err
+		}
+	}
+}
+
+// Poll waits until one of the files reports a ready event in mask, calling
+// step to advance the simulation between checks. It returns the index of the
+// first ready file and its events. If nothing is ready and step reports that
+// no progress is possible, ErrWouldDead is returned — the simulated
+// equivalent of a poll that would block forever.
+func Poll(files []*File, mask int, step func() bool) (int, int, error) {
+	for {
+		for i, f := range files {
+			if r := f.Poll(mask); r != 0 {
+				return i, r, nil
+			}
+		}
+		if !step() {
+			return -1, 0, ErrWouldDead
+		}
+	}
+}
+
+// FmtMode renders permission bits in ls -l style (without the type letter).
+func FmtMode(mode uint16) string {
+	s := []byte("rwxrwxrwx")
+	for i := 0; i < 9; i++ {
+		if mode&(1<<uint(8-i)) == 0 {
+			s[i] = '-'
+		}
+	}
+	if mode&ModeSetUID != 0 {
+		s[2] = 's'
+	}
+	if mode&ModeSetGID != 0 {
+		s[5] = 's'
+	}
+	return string(s)
+}
+
+// EOF is the error returned by sequential reads at end of file.
+var EOF = errors.New("EOF")
+
+// Errorf wraps fmt.Errorf so fs implementations need not import fmt for
+// one-off errors.
+func Errorf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,95 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func ucred(uid, gid int) types.Cred { return types.UserCred(uid, gid) }
+
+func TestSplitAndClean(t *testing.T) {
+	cases := map[string][]string{
+		"/":            nil,
+		"//":           nil,
+		"/a/b":         {"a", "b"},
+		"a/b/":         {"a", "b"},
+		"/a/./b":       {"a", "b"},
+		"/a/../b":      {"b"},
+		"/../a":        {"a"},
+		"/a/b/../../c": {"c"},
+	}
+	for in, want := range cases {
+		got := Split(in)
+		if len(got) != len(want) {
+			t.Errorf("Split(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Split(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	if Clean("//a//b/") != "/a/b" {
+		t.Errorf("Clean = %q", Clean("//a//b/"))
+	}
+	if Clean("/") != "/" {
+		t.Errorf("Clean(/) = %q", Clean("/"))
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	attr := Attr{Mode: 0o640, UID: 100, GID: 10}
+	owner := ucred(100, 10)
+	groupie := ucred(200, 10)
+	other := ucred(300, 30)
+	root := ucred(0, 0)
+
+	if err := CheckAccess(attr, owner, 4|2); err != nil {
+		t.Error("owner should read/write")
+	}
+	if err := CheckAccess(attr, owner, 1); err == nil {
+		t.Error("owner should not exec")
+	}
+	if err := CheckAccess(attr, groupie, 4); err != nil {
+		t.Error("group should read")
+	}
+	if err := CheckAccess(attr, groupie, 2); err == nil {
+		t.Error("group should not write")
+	}
+	if err := CheckAccess(attr, other, 4); err == nil {
+		t.Error("other should not read")
+	}
+	if err := CheckAccess(attr, root, 4|2|1); err != nil {
+		t.Error("root can do anything")
+	}
+}
+
+func TestFmtMode(t *testing.T) {
+	cases := map[uint16]string{
+		0o644:  "rw-r--r--",
+		0o755:  "rwxr-xr-x",
+		0o600:  "rw-------",
+		0o4755: "rwsr-xr-x",
+		0o2755: "rwxr-sr-x",
+		0:      "---------",
+	}
+	for mode, want := range cases {
+		if got := FmtMode(mode); got != want {
+			t.Errorf("FmtMode(%o) = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestIsSetID(t *testing.T) {
+	if (Attr{Mode: 0o755}).IsSetID() {
+		t.Error("plain file is not set-id")
+	}
+	if !(Attr{Mode: 0o4755}).IsSetID() {
+		t.Error("setuid file is set-id")
+	}
+	if !(Attr{Mode: 0o2755}).IsSetID() {
+		t.Error("setgid file is set-id")
+	}
+}

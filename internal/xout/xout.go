@@ -1,0 +1,216 @@
+// Package xout defines the executable file format of the simulated system —
+// the analogue of the SVR4 a.out/ELF. An xout image carries a text segment,
+// an initialized data segment, a bss size, an entry point, a list of shared
+// libraries to map at exec time, and a symbol table (so debuggers can resolve
+// names, and so PIOCOPENM — which hands a debugger a file descriptor for the
+// mapped object — is useful for finding symbol tables without pathnames).
+//
+// The package also fixes the address-space layout conventions shared by the
+// assembler and the kernel's exec: where text, data, stack and shared
+// libraries are placed. The layout follows the paper's Figure 2: the a.out
+// text at 0x80000000 and shared libraries at 0xC0000000 and up.
+package xout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Address-space layout conventions.
+const (
+	TextBase   = 0x80000000 // a.out text mapping base
+	SegAlign   = 0x8000     // alignment between text and data mappings (32K)
+	StackTop   = 0x7FFF8000 // first address above the initial stack mapping
+	StackInit  = 0x8000     // initial stack mapping size (grows down)
+	StackLimit = 0x7F000000 // lowest address the stack may grow to
+	LibBase    = 0xC0000000 // first shared-library mapping base
+	LibStride  = 0x01000000 // spacing between shared libraries
+)
+
+// Magic identifies an xout image.
+var Magic = [4]byte{'X', 'O', 'U', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+// Sym is a symbol-table entry: a label and its virtual address.
+type Sym struct {
+	Name  string
+	Value uint32
+}
+
+// File is a parsed (or to-be-written) executable image.
+type File struct {
+	Entry   uint32   // initial program counter
+	Text    []byte   // machine instructions, mapped read/exec at TextBase
+	Data    []byte   // initialized data, mapped read/write at DataBase()
+	BSSSize uint32   // zero-filled break segment placed after data
+	Libs    []string // shared libraries to map (names under /lib)
+	Syms    []Sym    // symbol table
+}
+
+// DataBase returns the virtual address of the data mapping: the text base
+// plus the text length rounded up to the segment alignment.
+func (f *File) DataBase() uint32 {
+	return TextBase + roundUp(uint32(len(f.Text)), SegAlign)
+}
+
+// BSSBase returns the virtual address of the break (bss) mapping.
+func (f *File) BSSBase() uint32 {
+	return f.DataBase() + roundUp(uint32(len(f.Data)), SegAlign)
+}
+
+func roundUp(n, align uint32) uint32 {
+	if n == 0 {
+		return align
+	}
+	return (n + align - 1) &^ (align - 1)
+}
+
+// Lookup finds a symbol by name.
+func (f *File) Lookup(name string) (uint32, bool) {
+	for _, s := range f.Syms {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SymAt returns the name of the symbol with the greatest value <= addr, plus
+// the offset from it — the usual "func+0x10" debugger rendering.
+func (f *File) SymAt(addr uint32) (string, uint32) {
+	best := ""
+	var bestVal uint32
+	for _, s := range f.Syms {
+		if s.Value <= addr && (best == "" || s.Value > bestVal) {
+			best, bestVal = s.Name, s.Value
+		}
+	}
+	if best == "" {
+		return "", 0
+	}
+	return best, addr - bestVal
+}
+
+// Marshal serializes the image.
+func (f *File) Marshal() []byte {
+	var out []byte
+	out = append(out, Magic[:]...)
+	out = appendU32(out, Version)
+	out = appendU32(out, f.Entry)
+	out = appendU32(out, uint32(len(f.Text)))
+	out = appendU32(out, uint32(len(f.Data)))
+	out = appendU32(out, f.BSSSize)
+	out = appendU32(out, uint32(len(f.Libs)))
+	out = appendU32(out, uint32(len(f.Syms)))
+	for _, l := range f.Libs {
+		out = appendStr(out, l)
+	}
+	for _, s := range f.Syms {
+		out = appendStr(out, s.Name)
+		out = appendU32(out, s.Value)
+	}
+	out = append(out, f.Text...)
+	out = append(out, f.Data...)
+	return out
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var w [4]byte
+	binary.BigEndian.PutUint32(w[:], v)
+	return append(b, w[:]...)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// ErrBadMagic reports that a file is not an xout image; exec returns the
+// equivalent of ENOEXEC for it.
+var ErrBadMagic = errors.New("xout: bad magic")
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = errors.New("xout: truncated image")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+n > len(r.b) || n > 1<<20 {
+		r.err = errors.New("xout: truncated string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = errors.New("xout: truncated section")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += n
+	return out
+}
+
+// Unmarshal parses an image.
+func Unmarshal(b []byte) (*File, error) {
+	if len(b) < 4 || b[0] != Magic[0] || b[1] != Magic[1] || b[2] != Magic[2] || b[3] != Magic[3] {
+		return nil, ErrBadMagic
+	}
+	r := &reader{b: b, off: 4}
+	ver := r.u32()
+	if r.err == nil && ver != Version {
+		return nil, fmt.Errorf("xout: unsupported version %d", ver)
+	}
+	f := &File{}
+	f.Entry = r.u32()
+	textLen := int(r.u32())
+	dataLen := int(r.u32())
+	f.BSSSize = r.u32()
+	nLibs := int(r.u32())
+	nSyms := int(r.u32())
+	if r.err == nil && (nLibs > 1024 || nSyms > 1<<20) {
+		return nil, errors.New("xout: unreasonable table sizes")
+	}
+	for i := 0; i < nLibs && r.err == nil; i++ {
+		f.Libs = append(f.Libs, r.str())
+	}
+	for i := 0; i < nSyms && r.err == nil; i++ {
+		name := r.str()
+		val := r.u32()
+		f.Syms = append(f.Syms, Sym{Name: name, Value: val})
+	}
+	f.Text = r.bytes(textLen)
+	f.Data = r.bytes(dataLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return f, nil
+}

@@ -1,0 +1,105 @@
+package xout
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *File {
+	return &File{
+		Entry:   TextBase + 8,
+		Text:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Data:    []byte("initialized"),
+		BSSSize: 4096,
+		Libs:    []string{"libc", "libm"},
+		Syms:    []Sym{{"start", TextBase}, {"main", TextBase + 8}},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := sample()
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entry != f.Entry || !bytes.Equal(g.Text, f.Text) || !bytes.Equal(g.Data, f.Data) ||
+		g.BSSSize != f.BSSSize || len(g.Libs) != 2 || g.Libs[0] != "libc" ||
+		len(g.Syms) != 2 || g.Syms[1].Name != "main" {
+		t.Fatalf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("ELF!....")); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Unmarshal(nil); err != ErrBadMagic {
+		t.Fatal("nil image should be bad magic")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	b := sample().Marshal()
+	for _, cut := range []int{5, 10, 20, len(b) - 3} {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	f := &File{Text: make([]byte, 26*1024), Data: make([]byte, 100)}
+	if f.DataBase() != TextBase+0x8000 {
+		t.Fatalf("DataBase = %#x", f.DataBase())
+	}
+	if f.BSSBase() != TextBase+2*0x8000 {
+		t.Fatalf("BSSBase = %#x", f.BSSBase())
+	}
+	// Empty text still reserves one alignment unit so bases never collide.
+	g := &File{}
+	if g.DataBase() == TextBase {
+		t.Fatal("empty text should still separate data from text base")
+	}
+}
+
+func TestLookupAndSymAt(t *testing.T) {
+	f := sample()
+	if v, ok := f.Lookup("main"); !ok || v != TextBase+8 {
+		t.Fatal("Lookup main failed")
+	}
+	if _, ok := f.Lookup("nope"); ok {
+		t.Fatal("Lookup nope should fail")
+	}
+	name, off := f.SymAt(TextBase + 12)
+	if name != "main" || off != 4 {
+		t.Fatalf("SymAt = %s+%d", name, off)
+	}
+	name, _ = f.SymAt(TextBase - 4)
+	if name != "" {
+		t.Fatal("SymAt below all symbols should be empty")
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary content.
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(entry uint32, text, data []byte, bss uint32, lib string, sym string, val uint32) bool {
+		if len(lib) > 100 {
+			lib = lib[:100]
+		}
+		if len(sym) > 100 {
+			sym = sym[:100]
+		}
+		f := &File{Entry: entry, Text: text, Data: data, BSSSize: bss,
+			Libs: []string{lib}, Syms: []Sym{{sym, val}}}
+		g, err := Unmarshal(f.Marshal())
+		if err != nil {
+			return false
+		}
+		return g.Entry == entry && bytes.Equal(g.Text, text) && bytes.Equal(g.Data, data) &&
+			g.BSSSize == bss && g.Libs[0] == lib && g.Syms[0] == Sym{sym, val}
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

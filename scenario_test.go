@@ -1,0 +1,239 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// A full debugging session combining most of the paper's machinery in one
+// scenario: a multi-process application is traced with truss while a
+// debugger controls one process with breakpoints, ps observes everything,
+// and the set-id rules guard a privileged helper.
+func TestScenarioDebugTracedApplication(t *testing.T) {
+	s := repro.NewSystem()
+
+	// A privileged helper (setuid root) the application execs.
+	if err := s.Install("/bin/helper", `
+	movi r0, SYS_getuid
+	syscall			; r1 = euid (0 if setuid honored)
+	movi r0, SYS_exit
+	syscall
+`, 0o4755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The application: computes, forks a child that execs the helper,
+	// reaps it, and exits with the helper's result.
+	app, err := s.SpawnProg("app", `
+.entry main
+compute:
+	la r3, acc
+	ld r4, [r3]
+	add r4, r2
+	st r4, [r3]
+	ret
+main:
+	movi r2, 5
+	call compute
+	movi r2, 7
+	call compute
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_exec
+	la r1, helper
+	syscall
+	movi r0, SYS_exit
+	movi r1, 99
+	syscall
+parent:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	shr r1, 8		; helper's exit code (its euid: 0)
+	la r3, acc
+	ld r4, [r3]
+	add r1, r4		; + accumulated 12
+	movi r0, SYS_exit
+	syscall
+.data
+acc:	.word 0
+helper:	.asciz "/bin/helper"
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A debugger takes the app, breaks on compute, watches acc.
+	d, err := tools.NewDebugger(s, app, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := d.Lookup("compute")
+	acc, _ := d.Lookup("acc")
+	if err := d.SetBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	wantR2 := []uint32{5, 7}
+	for hit, want := range wantR2 {
+		st, err := d.Cont()
+		if err != nil {
+			t.Fatalf("hit %d: %v", hit, err)
+		}
+		if st.Reg.R[2] != want {
+			t.Fatalf("hit %d: r2 = %d, want %d", hit, st.Reg.R[2], want)
+		}
+	}
+	// Inject a getpid while stopped, then verify acc through bulk read.
+	ret, errno, err := d.InjectSyscall(kernel.SysGetpid)
+	if err != nil || errno != 0 || int(ret) != app.Pid {
+		t.Fatalf("inject: %d %v %v", ret, errno, err)
+	}
+	mem, _ := d.ReadMem(acc, 4)
+	if mem[3] != 5 {
+		t.Fatalf("acc mid-run = %d, want 5", mem[3])
+	}
+	if err := d.ClearBreak(fn); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// ps sees the app while it finishes.
+	var psOut strings.Builder
+	if err := tools.PS(s.Client(types.RootCred()), &psOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(psOut.String(), "app") {
+		t.Fatal("ps does not show the app")
+	}
+
+	status, err := s.WaitExit(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// helper euid 0 + acc 12 = 12.
+	if _, code := kernel.WIfExited(status); code != 12 {
+		t.Fatalf("final code = %d, want 12", code)
+	}
+}
+
+// The whole pipeline of observation interfaces agrees about one process:
+// flat ioctl status, hierarchical status file, psinfo, and PIOCGETPR.
+func TestScenarioInterfacesAgree(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("agree", "loop:\tjmp loop\n", types.UserCred(42, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+
+	flat, err := s.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	var st kernel.ProcStatus
+	if err := flat.Ioctl(procfs.PIOCSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hierarchical status file.
+	hier, err := s.Client(types.RootCred()).Open(
+		"/procx/"+procfs.PidName(p.Pid)+"/status", vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hier.Close()
+	buf := make([]byte, 4096)
+	n, err := hier.Pread(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := decodeStatusT(t, buf[:n])
+	if st2.Pid != st.Pid || st2.Reg.PC != st.Reg.PC || st2.Why != st.Why {
+		t.Fatalf("interfaces disagree: %+v vs %+v", st, st2)
+	}
+
+	// psinfo.
+	var info kernel.PSInfo
+	if err := flat.Ioctl(procfs.PIOCPSINFO, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.UID != 42 || info.GID != 7 || info.State != 'T' {
+		t.Fatalf("psinfo = %+v", info)
+	}
+
+	// The deprecated escape hatch agrees too.
+	var pr *kernel.Proc
+	if err := flat.Ioctl(procfs.PIOCGETPR, &pr); err != nil || pr != p {
+		t.Fatal("PIOCGETPR disagrees")
+	}
+	flat.Ioctl(procfs.PIOCRUN, nil)
+	s.K.PostSignal(p, types.SIGKILL)
+	s.WaitExit(p)
+}
+
+// 50 processes, everything observed at once: a stress pass over the whole
+// system.
+func TestScenarioManyProcesses(t *testing.T) {
+	s := repro.NewSystem()
+	var procs []*kernel.Proc
+	if err := s.Install("/bin/unit", `
+	movi r0, SYS_sleep
+	movi r1, 200
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p, err := s.Spawn("/bin/unit", nil, types.UserCred(100+i%5, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	// ps over the full population.
+	var out strings.Builder
+	if err := tools.PS(s.Client(types.RootCred()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "unit"); got != 50 {
+		t.Fatalf("ps shows %d units", got)
+	}
+	// Everyone exits; the system drains clean.
+	for _, p := range procs {
+		if _, err := s.WaitExit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(10)
+	left := 0
+	for _, q := range s.K.Procs() {
+		if q.Comm == "unit" {
+			left++
+		}
+	}
+	if left != 0 {
+		t.Fatalf("%d units not reaped", left)
+	}
+}
+
+func decodeStatusT(t *testing.T, b []byte) kernel.ProcStatus {
+	t.Helper()
+	st, err := decodeStatus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// A soak pass over the whole system: many processes forking, sleeping,
+// faulting and exiting while ps sweeps and a truss follows one family.
+// Everything must drain cleanly: no leaked zombies, no stuck LWPs, no
+// kernel panic.
+func TestSoakManyFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	s := repro.NewSystem()
+	if err := s.Install("/bin/family", `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_sleep	; child naps then exits
+	movi r1, 40
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_fork	; second child crashes
+	syscall
+	cmpi r0, 0
+	jne reap
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+reap:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var parents []*kernel.Proc
+	for i := 0; i < 25; i++ {
+		p, err := s.Spawn("/bin/family", []string{fmt.Sprintf("family%d", i)},
+			types.UserCred(100+i%5, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, p)
+	}
+	// Truss one family while the rest run free.
+	tr := tools.NewTruss(s, io.Discard, types.RootCred())
+	tr.FollowForks = true
+	tr.Summary = true
+	if err := tr.Attach(parents[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave ps sweeps with progress.
+	for sweep := 0; sweep < 5; sweep++ {
+		if err := tools.PS(s.Client(types.RootCred()), io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(200)
+	}
+	if err := tr.Run(10_000_000); err != nil {
+		t.Fatalf("truss: %v", err)
+	}
+	for i, p := range parents {
+		if _, err := s.WaitExit(p); err != nil {
+			t.Fatalf("family %d stuck: %v", i, err)
+		}
+	}
+	// Drain: eventually only the system processes and init remain.
+	s.Run(100)
+	var leftovers []string
+	for _, q := range s.K.Procs() {
+		if q.Pid > 2 && q.Comm != "init" {
+			leftovers = append(leftovers, fmt.Sprintf("%d:%s:%v", q.Pid, q.Comm, q.State()))
+		}
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("leftover processes: %v", leftovers)
+	}
+	// The traced family's fork was followed and its crash observed.
+	if tr.Counts(kernel.SysFork) < 2 {
+		t.Fatalf("truss saw %d forks", tr.Counts(kernel.SysFork))
+	}
+}

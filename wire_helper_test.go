@@ -1,0 +1,10 @@
+package repro_test
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/procfs2"
+)
+
+func decodeStatus(b []byte) (kernel.ProcStatus, error) {
+	return procfs2.DecodeStatus(b)
+}
