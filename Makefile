@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify runs the tier-1 gate (build + test) plus the race detector and vet.
+verify: build test race vet
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -63,6 +63,7 @@ nopath:	.asciz "/no/such"
 func main() {
 	follow := flag.Bool("f", false, "follow children created by fork/vfork")
 	summary := flag.Bool("c", false, "count calls, faults and signals instead of reporting each")
+	legacy := flag.Bool("legacy", false, "use the stop-and-poll /proc loop instead of the kernel event trace")
 	flag.Parse()
 
 	src := demo
@@ -96,6 +97,7 @@ func main() {
 	tr := tools.NewTruss(s, os.Stdout, types.RootCred())
 	tr.FollowForks = *follow
 	tr.Summary = *summary
+	tr.UseTrace = !*legacy
 	if err := tr.TraceToExit(p, 10_000_000); err != nil {
 		fmt.Fprintln(os.Stderr, "truss:", err)
 		os.Exit(1)

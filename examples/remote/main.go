@@ -130,5 +130,5 @@ loop:	movi r5, 1
 	}
 	ctl.Close()
 	statusFile.Close()
-	fmt.Printf("\ntotal protocol round trips: %d\n", cl.Ops)
+	fmt.Printf("\ntotal protocol round trips: %d\n", cl.Ops())
 }

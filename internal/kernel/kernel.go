@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/vfs"
 )
@@ -46,6 +47,13 @@ type Kernel struct {
 	// Trace, if set, receives a line for every process-model event of
 	// note (stops, signals, exits); used by tests and verbose tools.
 	Trace func(format string, args ...interface{})
+
+	// Event tracing (internal/ktrace). KT is the optional kernel-wide
+	// ring; KTDefaultCap, when non-zero, gives every new process a ring of
+	// that capacity; ktStats accumulates the kernel-wide counters.
+	KT           *ktrace.Ring
+	KTDefaultCap int
+	ktStats      ktrace.Stats
 }
 
 // New creates a kernel over a name space. The conventional system processes
@@ -104,6 +112,9 @@ func (k *Kernel) allocPid() int {
 }
 
 func (k *Kernel) addProc(p *Proc) {
+	if p.KT == nil && k.KTDefaultCap > 0 {
+		p.KT = ktrace.NewRing(k.KTDefaultCap)
+	}
 	k.procs[p.Pid] = p
 	k.order = append(k.order, p)
 	if p.Pid == 1 {

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/types"
 	"repro/internal/vcpu"
@@ -163,6 +164,11 @@ type Proc struct {
 	// /proc state.
 	Trace TraceState
 	Usage Usage
+
+	// Event tracing: the per-process ring (nil when disabled) and the
+	// portion of its drop count already folded into the kernel counters.
+	KT         *ktrace.Ring
+	ktDropBase uint64
 
 	// Job control: true when stopped by a job-control signal.
 	jobStopped bool
@@ -362,6 +368,7 @@ func (l *LWP) Runnable() bool {
 
 // markStopped recomputes the scheduling state from the claims.
 func (l *LWP) recompute() {
+	old := l.state
 	switch {
 	case l.state == LZombie:
 	case l.Stopped():
@@ -370,6 +377,11 @@ func (l *LWP) recompute() {
 		l.state = LSleep
 	default:
 		l.state = LRun
+	}
+	if l.state != old {
+		if k := l.Proc.k; k.ktEnabled(l.Proc) {
+			k.ktLWPState(l, old)
+		}
 	}
 }
 

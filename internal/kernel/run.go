@@ -61,6 +61,9 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.FltAddr = tr.Addr
 				l.fltStopDone = false
 				p.Usage.Faults++
+				if k.ktEnabled(p) {
+					k.ktFault(l, tr.Fault, tr.Addr)
+				}
 				l.phase = phFault
 			}
 
@@ -77,6 +80,11 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.sysArgs[i] = l.CPU.Regs.R[i+1]
 			}
 			l.sysArgs[5] = 0
+			// The entry event is recorded after the arguments are fetched,
+			// so it reflects any changes a debugger made at the entry stop.
+			if k.ktEnabled(p) {
+				k.ktSysEntry(l)
+			}
 			if l.abortSys {
 				// PRSABORT: go directly to system call exit with EINTR.
 				l.abortSys = false
@@ -137,6 +145,9 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.stopEvent(WhySysExit, l.sysNum)
 				return ran
 			}
+			if k.ktEnabled(p) {
+				k.ktSysExit(l)
+			}
 			if l.suspSaved != nil {
 				l.SigHold = *l.suspSaved
 				l.suspSaved = nil
@@ -180,6 +191,9 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 		}
 	}
 	p.Usage.InvolCtx++
+	if k.ktEnabled(p) {
+		k.ktSchedTick(l)
+	}
 	return ran
 }
 

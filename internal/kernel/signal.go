@@ -19,6 +19,11 @@ func (k *Kernel) PostSignal(p *Proc, sig int) {
 		return
 	}
 	p.Usage.Signals++
+	// Record generation before the discard-if-ignored logic below: the
+	// trace observes signals that nothing else ever will.
+	if k.ktEnabled(p) {
+		k.ktSigPost(p, sig)
+	}
 	switch {
 	case sig == types.SIGCONT:
 		// Generating SIGCONT resumes a job-control-stopped process even if
@@ -197,6 +202,9 @@ func (k *Kernel) psig(l *LWP) {
 	}
 	l.CurSig = 0
 	act := p.Actions[sig]
+	if k.ktEnabled(p) {
+		k.ktSigDeliver(l, sig, act.Handler)
+	}
 	if sig != types.SIGKILL && act.Handler > SigIGN {
 		k.pushSignalFrame(l, sig, act)
 		return

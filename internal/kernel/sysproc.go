@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/types"
 	"repro/internal/vfs"
@@ -20,6 +21,9 @@ func (k *Kernel) exitProc(p *Proc, status int) {
 		return
 	}
 	k.tracef("pid %d exit status %#x", p.Pid, status)
+	if k.ktEnabled(p) {
+		k.ktExit(p, status)
+	}
 	p.state = PZombie
 	p.ExitStatus = status
 	for _, l := range p.LWPs {
@@ -219,6 +223,11 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 		child.Trace.InhFork = true
 		child.Trace.RunLC = p.Trace.RunLC
 	}
+	// Event tracing is always inherited: a traced parent's children are
+	// traced from birth, so a tool following forks misses nothing.
+	if p.KT != nil {
+		child.KT = ktrace.NewRing(p.KT.Cap())
+	}
 	cl := child.newLWP()
 	cl.CPU.Regs = l.CPU.Regs
 	cl.CPU.FP = l.CPU.FP
@@ -231,6 +240,9 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 	p.Kids = append(p.Kids, child)
 	p.Usage.ForkedKids++
 	k.addProc(child)
+	if k.ktEnabled(p) {
+		k.ktFork(p, child.Pid)
+	}
 	k.tracef("pid %d forked pid %d (vfork=%v)", p.Pid, child.Pid, child.borrowsAS)
 	return child
 }

@@ -1,0 +1,251 @@
+package ktrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func ev(kind Kind, what int32) Event {
+	return Event{Time: 7, Pid: 3, LWP: 1, Kind: kind, What: what,
+		A: 0xA0A0, B: 0xB0B0, Args: [6]uint32{1, 2, 3, 4, 5, 6}}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	e := ev(KSysEntry, 42)
+	e.Seq = 99
+	b := AppendEncode(nil, e)
+	if len(b) != EventSize {
+		t.Fatalf("encoded size %d, want %d", len(b), EventSize)
+	}
+	got, err := DecodeEvent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v want %+v", got, e)
+	}
+}
+
+func TestDecodeEventErrors(t *testing.T) {
+	if _, err := DecodeEvent(make([]byte, EventSize-1)); err == nil {
+		t.Fatal("short buffer: want error")
+	}
+	bad := AppendEncode(nil, Event{Kind: kindMax})
+	if _, err := DecodeEvent(bad); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+	if _, err := Decode(make([]byte, EventSize+1)); err == nil {
+		t.Fatal("partial trailing event: want error")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	events := []Event{ev(KSysEntry, 1), ev(KSysExit, 1), ev(KExit, 0)}
+	got, err := Decode(Encode(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestRingAppendAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := int32(0); i < 6; i++ {
+		e := ev(KSchedTick, i)
+		r.Append(&e)
+	}
+	if r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d, want 4 and 2", r.Len(), r.Dropped())
+	}
+	if r.FirstSeq() != 2 || r.NextSeq() != 6 {
+		t.Fatalf("window [%d,%d), want [2,6)", r.FirstSeq(), r.NextSeq())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Seq != uint64(i+2) || e.What != int32(i+2) {
+			t.Fatalf("event %d: seq %d what %d", i, e.Seq, e.What)
+		}
+	}
+}
+
+func TestRingResize(t *testing.T) {
+	r := NewRing(8)
+	for i := int32(0); i < 8; i++ {
+		e := ev(KSchedTick, i)
+		r.Append(&e)
+	}
+	r.Resize(3)
+	if r.Cap() != 3 || r.Len() != 3 || r.Dropped() != 5 {
+		t.Fatalf("cap %d len %d dropped %d after shrink", r.Cap(), r.Len(), r.Dropped())
+	}
+	if r.Events()[0].What != 5 {
+		t.Fatalf("oldest after shrink = %d, want 5", r.Events()[0].What)
+	}
+	r.Resize(16)
+	e := ev(KSchedTick, 8)
+	r.Append(&e)
+	if r.Len() != 4 || r.NextSeq() != 9 {
+		t.Fatalf("after grow: len %d next %d", r.Len(), r.NextSeq())
+	}
+}
+
+func TestRingReadAt(t *testing.T) {
+	r := NewRing(4)
+	for i := int32(0); i < 6; i++ {
+		e := ev(KSchedTick, i)
+		r.Append(&e)
+	}
+	// The retained window is seqs [2,6): bytes [128, 384).
+	buf := make([]byte, 4*EventSize)
+	n, err := r.ReadAt(buf, 2*EventSize)
+	if err != nil || n != 4*EventSize {
+		t.Fatalf("ReadAt window: n=%d err=%v", n, err)
+	}
+	evs, err := Decode(buf[:n])
+	if err != nil || evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Fatalf("window decode: %v %+v", err, evs)
+	}
+	if _, err := r.ReadAt(buf, 6*EventSize); err != io.EOF {
+		t.Fatalf("past window: err=%v, want io.EOF", err)
+	}
+	if _, err := r.ReadAt(buf, 0); err != ErrDataLoss {
+		t.Fatalf("before window: err=%v, want ErrDataLoss", err)
+	}
+	// A misaligned offset serves the tail of an event.
+	n, err = r.ReadAt(buf[:EventSize], 2*EventSize+10)
+	if err != nil || n != EventSize {
+		t.Fatalf("misaligned: n=%d err=%v", n, err)
+	}
+	whole := AppendEncode(nil, r.Events()[0])
+	whole = AppendEncode(whole, r.Events()[1])
+	if !bytes.Equal(buf[:EventSize], whole[10:10+EventSize]) {
+		t.Fatal("misaligned read returned wrong bytes")
+	}
+}
+
+func TestRingLazyAllocation(t *testing.T) {
+	r := NewRing(1 << 20)
+	if r.Len() != 0 {
+		t.Fatal("fresh ring should hold nothing")
+	}
+	e := ev(KSchedTick, 0)
+	r.Append(&e)
+	if r.Len() != 1 {
+		t.Fatal("one append, one event")
+	}
+}
+
+func TestArgStr(t *testing.T) {
+	var e Event
+	EncodeArgStr(&e, "/tmp/truss.out", 0)
+	s, off, complete := DecodeArgStr(e)
+	if s != "/tmp/truss.out" || off != 0 || !complete {
+		t.Fatalf("got %q off=%d complete=%v", s, off, complete)
+	}
+	// A long string spans chunked events that reassemble exactly.
+	long := "/a/very/long/path/that/cannot/fit/in/one/event"
+	var got string
+	for off := 0; ; off += ArgStrMax {
+		EncodeArgStr(&e, long, off)
+		chunk, o, complete := DecodeArgStr(e)
+		if o != off {
+			t.Fatalf("chunk at %d reports offset %d", off, o)
+		}
+		got += chunk
+		if complete {
+			break
+		}
+		if len(chunk) != ArgStrMax {
+			t.Fatalf("non-final chunk of %d bytes", len(chunk))
+		}
+	}
+	if got != long {
+		t.Fatalf("reassembled %q, want %q", got, long)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	var s Stats
+	s.Count(KSysEntry, 5)
+	s.Count(KSysEntry, 5)
+	s.Count(KSysExit, 5)
+	s.Count(KFault, 1)
+	s.AddDropped(3)
+	got, err := DecodeStats(EncodeStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: got %+v want %+v", got, s)
+	}
+	if s.Emitted != 4 || s.Dropped != 3 || s.PerSys[5] != 2 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestStatsDecodeErrors(t *testing.T) {
+	if _, err := DecodeStats(nil); err == nil {
+		t.Fatal("empty: want error")
+	}
+	var s Stats
+	s.Count(KSysEntry, 1)
+	b := EncodeStats(s)
+	if _, err := DecodeStats(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated: want error")
+	}
+	b[16], b[17], b[18], b[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeStats(b); err == nil {
+		t.Fatal("absurd count: want error")
+	}
+}
+
+// FuzzTraceDecode checks that decoding arbitrary bytes never panics and that
+// whatever decodes successfully re-encodes to the identical bytes.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, EventSize-1))
+	f.Add(AppendEncode(nil, ev(KSysEntry, 3)))
+	f.Add(Encode([]Event{ev(KSigPost, 9), ev(KExit, 0)}))
+	bad := AppendEncode(nil, Event{Kind: kindMax + 7})
+	f.Add(bad)
+	f.Add(EncodeStats(Stats{Emitted: 10, Dropped: 2}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		evs, err := Decode(b)
+		if err == nil {
+			if again := Encode(evs); !bytes.Equal(again, b) {
+				t.Fatalf("re-encode mismatch:\n in %x\nout %x", b, again)
+			}
+		}
+		if e, err := DecodeEvent(b); err == nil {
+			rt, err2 := DecodeEvent(AppendEncode(nil, e))
+			if err2 != nil || rt != e {
+				t.Fatalf("event round trip: %v %+v %+v", err2, rt, e)
+			}
+		}
+		// The counters page decoder must be panic-free on garbage too.
+		if st, err := DecodeStats(b); err == nil {
+			rt, err2 := DecodeStats(EncodeStats(st))
+			if err2 != nil || rt != st {
+				t.Fatalf("stats round trip: %v", err2)
+			}
+		}
+	})
+}
+
+// The emit hot path: one ring append, including the wrap.
+func BenchmarkRingAppend(b *testing.B) {
+	r := NewRing(1 << 16)
+	e := ev(KSysEntry, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(&e)
+	}
+}

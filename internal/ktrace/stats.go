@@ -1,0 +1,80 @@
+package ktrace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxSysHist bounds the per-syscall histogram (comfortably above the
+// kernel's MaxSysNum without importing it).
+const MaxSysHist = 256
+
+// Stats are the kernel-wide tracing counters served by the /proc counters
+// page: how many events have been emitted and dropped across all rings,
+// and a histogram of traced system call entries.
+type Stats struct {
+	Emitted uint64
+	Dropped uint64
+	PerSys  [MaxSysHist]uint64
+}
+
+// Count records one emitted event (dst rings it landed in update their own
+// drop counts; AddDropped folds those in).
+func (s *Stats) Count(kind Kind, what int32) {
+	s.Emitted++
+	if kind == KSysEntry && what >= 0 && what < MaxSysHist {
+		s.PerSys[what]++
+	}
+}
+
+// AddDropped folds ring evictions into the kernel-wide counter.
+func (s *Stats) AddDropped(n uint64) { s.Dropped += n }
+
+// EncodeStats serializes the counters page: emitted, dropped, then the
+// non-zero histogram entries as (syscall, count) pairs. The encoding is
+// deterministic (ascending syscall number).
+func EncodeStats(s Stats) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint64(b, s.Emitted)
+	b = binary.BigEndian.AppendUint64(b, s.Dropped)
+	n := uint32(0)
+	for _, c := range s.PerSys {
+		if c != 0 {
+			n++
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, n)
+	for num, c := range s.PerSys {
+		if c != 0 {
+			b = binary.BigEndian.AppendUint32(b, uint32(num))
+			b = binary.BigEndian.AppendUint64(b, c)
+		}
+	}
+	return b
+}
+
+// errBadStats reports a malformed counters page.
+var errBadStats = errors.New("ktrace: malformed counters page")
+
+// DecodeStats parses the counters page.
+func DecodeStats(b []byte) (Stats, error) {
+	var s Stats
+	if len(b) < 20 {
+		return s, errBadStats
+	}
+	s.Emitted = binary.BigEndian.Uint64(b)
+	s.Dropped = binary.BigEndian.Uint64(b[8:])
+	n := int(binary.BigEndian.Uint32(b[16:]))
+	b = b[20:]
+	if n < 0 || n > MaxSysHist || len(b) != n*12 {
+		return s, errBadStats
+	}
+	for i := 0; i < n; i++ {
+		num := binary.BigEndian.Uint32(b[i*12:])
+		if num >= MaxSysHist {
+			return s, errBadStats
+		}
+		s.PerSys[num] = binary.BigEndian.Uint64(b[i*12+4:])
+	}
+	return s, nil
+}

@@ -33,6 +33,7 @@ const (
 	PCUNSET         // clear mode flags: [flags u32]
 	PCNICE          // adjust priority: [incr i32]
 	PCCFAULT        // clear the current fault
+	PCTRACE         // set event tracing: [cap u32] (events; 0 disables)
 )
 
 // PCRUN flag bits.
@@ -253,6 +254,13 @@ func (fs *FS) runOneCtl(p *kernel.Proc, l *kernel.LWP, w *wire) error {
 		}
 		t.CurFlt = 0
 		return nil
+	case PCTRACE:
+		capacity := w.u32()
+		if w.err != nil {
+			return w.err
+		}
+		p.SetKTrace(int(capacity))
+		return nil
 	}
 	return vfs.ErrInval
 }
@@ -383,3 +391,11 @@ func (c *CtlBuf) Nice(incr int) *CtlBuf {
 
 // CFault appends PCCFAULT.
 func (c *CtlBuf) CFault() *CtlBuf { c.w.putU32(PCCFAULT); return c }
+
+// Trace appends PCTRACE: enable (or resize) per-process event tracing with
+// a ring of capacity events; 0 disables.
+func (c *CtlBuf) Trace(capacity int) *CtlBuf {
+	c.w.putU32(PCTRACE)
+	c.w.putU32(uint32(capacity))
+	return c
+}

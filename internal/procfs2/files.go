@@ -33,6 +33,9 @@ func (v *fileVnode) VAttr() (vfs.Attr, error) {
 	if v.name == FileAS {
 		size = v.p.VirtSize()
 	}
+	if v.name == FileTrace {
+		size = ringSize(v.p.KT)
+	}
 	return vfs.Attr{Type: vfs.VPROC, Mode: mode,
 		UID: v.p.Cred.RUID, GID: v.p.Cred.RGID,
 		Size: size, MTime: v.fs.K.Now(), Nlink: 1}, nil
@@ -143,8 +146,9 @@ func (h *fileHandle) snapshot() ([]byte, error) {
 // HRead implements vfs.Handle. Status files return a snapshot taken at
 // offset zero; the as file reads the address space at the offset.
 func (h *fileHandle) HRead(b []byte, off int64) (int, error) {
-	// psinfo works on zombies, like PIOCPSINFO.
-	if h.v.name == FilePSInfo {
+	// psinfo works on zombies, like PIOCPSINFO; so does trace, which must be
+	// drainable after the target exits (the exit event is the last record).
+	if h.v.name == FilePSInfo || h.v.name == FileTrace {
 		if h.closed {
 			return 0, vfs.ErrBadFD
 		}
@@ -154,6 +158,8 @@ func (h *fileHandle) HRead(b []byte, off int64) (int, error) {
 	switch h.v.name {
 	case FileCtl, FileLWPCtl:
 		return 0, vfs.ErrBadFD
+	case FileTrace:
+		return ringRead(h.v.p.KT, b, off)
 	case FileAS:
 		if h.v.p.AS == nil {
 			return 0, vfs.ErrInval

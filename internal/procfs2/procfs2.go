@@ -35,6 +35,7 @@ const (
 	FileMap    = "map"    // read-only: EncodeMap
 	FileCred   = "cred"   // read-only: EncodeCred
 	FileUsage  = "usage"  // read-only: EncodeUsage
+	FileTrace  = "trace"  // read-only: the process's ktrace event stream
 	DirLWP     = "lwp"    // directory of threads of control
 )
 
@@ -79,6 +80,10 @@ func (r *rootDir) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 
 // VLookup implements vfs.Dir.
 func (r *rootDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
+	switch name {
+	case RootKTrace, RootTrace:
+		return &rootTraceVnode{fs: r.fs, name: name}, nil
+	}
 	pid, err := strconv.Atoi(name)
 	if err != nil || pid < 0 {
 		return nil, vfs.ErrNotExist
@@ -93,6 +98,11 @@ func (r *rootDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 // VReadDir implements vfs.Dir.
 func (r *rootDir) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 	var out []vfs.Dirent
+	for _, name := range []string{RootKTrace, RootTrace} {
+		vn := &rootTraceVnode{fs: r.fs, name: name}
+		attr, _ := vn.VAttr()
+		out = append(out, vfs.Dirent{Name: name, Attr: attr})
+	}
 	for _, p := range r.fs.K.Procs() {
 		d := &pidDir{fs: r.fs, p: p}
 		attr, _ := d.VAttr()
@@ -132,7 +142,7 @@ func (d *pidDir) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 // VLookup implements vfs.Dir.
 func (d *pidDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 	switch name {
-	case FileStatus, FilePSInfo, FileCtl, FileAS, FileMap, FileCred, FileUsage:
+	case FileStatus, FilePSInfo, FileCtl, FileAS, FileMap, FileCred, FileUsage, FileTrace:
 		return &fileVnode{fs: d.fs, p: d.p, name: name}, nil
 	case DirLWP:
 		return &lwpDir{fs: d.fs, p: d.p}, nil
@@ -143,7 +153,7 @@ func (d *pidDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 // VReadDir implements vfs.Dir.
 func (d *pidDir) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 	var out []vfs.Dirent
-	for _, name := range []string{FileStatus, FilePSInfo, FileCtl, FileAS, FileMap, FileCred, FileUsage, DirLWP} {
+	for _, name := range []string{FileStatus, FilePSInfo, FileCtl, FileAS, FileMap, FileCred, FileUsage, FileTrace, DirLWP} {
 		vn, _ := d.VLookup(name, c)
 		attr, _ := vn.VAttr()
 		out = append(out, vfs.Dirent{Name: name, Attr: attr})

@@ -1,6 +1,8 @@
 package rfs
 
 import (
+	"sync/atomic"
+
 	"repro/internal/types"
 	"repro/internal/vfs"
 )
@@ -12,9 +14,10 @@ import (
 type Client struct {
 	T    Transport
 	Cred types.Cred
-	// Ops counts protocol round trips, for the paper's remote-efficiency
-	// arguments.
-	Ops int64
+	// ops counts protocol round trips, for the paper's remote-efficiency
+	// arguments. Atomic: a ConnTransport client may be shared across
+	// goroutines.
+	ops atomic.Int64
 }
 
 // NewClient creates a remote client acting under cred.
@@ -22,8 +25,11 @@ func NewClient(t Transport, cred types.Cred) *Client {
 	return &Client{T: t, Cred: cred}
 }
 
+// Ops returns the number of protocol round trips made so far.
+func (c *Client) Ops() int64 { return c.ops.Load() }
+
 func (c *Client) call(op uint8, build func(*buf)) (*buf, error) {
-	c.Ops++
+	c.ops.Add(1)
 	req := &buf{}
 	req.putU8(op)
 	req.putU32(uint32(c.Cred.RUID))
@@ -151,6 +157,10 @@ func (h *remoteHandle) HWrite(p []byte, off int64) (int, error) {
 	n := resp.u32()
 	if resp.err != nil {
 		return 0, resp.err
+	}
+	// A server cannot have written more than it was sent.
+	if int64(n) > int64(len(p)) {
+		return 0, errShort
 	}
 	return int(n), nil
 }

@@ -1,13 +1,17 @@
 package rfs
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/memfs"
 	"repro/internal/procfs"
 	"repro/internal/types"
 	"repro/internal/vcpu"
+	"repro/internal/vfs"
 )
 
 // Round-trip every registered codec: encodeArg → decodeArg reconstructs the
@@ -170,5 +174,204 @@ func TestCodecTypeErrors(t *testing.T) {
 	}
 	if _, err := ioctlCodecs[procfs.PIOCSREG].decodeArg([]byte{1}); err == nil {
 		t.Error("truncated regs accepted")
+	}
+}
+
+// fakeTransport returns one canned response (or error) for every round trip:
+// a hostile or broken server, from the client's point of view.
+type fakeTransport struct {
+	resp []byte
+	err  error
+}
+
+func (t *fakeTransport) RoundTrip(req []byte) ([]byte, error) { return t.resp, t.err }
+
+// okHeader builds a response claiming success, to which corrupt payloads are
+// appended.
+func okHeader() []byte {
+	m := &buf{}
+	m.putU32(errNone)
+	m.putStr("")
+	return m.b
+}
+
+// exercise runs every client surface against the canned transport and hands
+// each outcome to check. HPoll's error path is degraded (it reports "no
+// events ready"), so it is only run for the no-panic property.
+func exercise(t *testing.T, tr Transport, check func(name string, err error)) {
+	t.Helper()
+	c := NewClient(tr, types.RootCred())
+	_, err := c.Open("/x", 0)
+	check("Open", err)
+	_, err = c.Stat("/x")
+	check("Stat", err)
+	_, err = c.ReadDir("/x")
+	check("ReadDir", err)
+	h := &remoteHandle{c: c, fd: 1}
+	_, err = h.HRead(make([]byte, 8), 0)
+	check("HRead", err)
+	_, err = h.HWrite([]byte("x"), 0)
+	check("HWrite", err)
+	var st kernel.ProcStatus
+	check("HIoctl", h.HIoctl(procfs.PIOCSTATUS, &st))
+	check("HClose", h.HClose())
+	h.HPoll(1)
+}
+
+// A transport failure surfaces as an error from every operation.
+func TestClientTransportError(t *testing.T) {
+	boom := errors.New("connection torn down")
+	exercise(t, &fakeTransport{err: boom}, func(name string, err error) {
+		if err != boom {
+			t.Errorf("%s: got %v, want the transport error", name, err)
+		}
+	})
+}
+
+// A response whose error header itself is truncated or garbled fails every
+// operation — no panics, no fabricated success.
+func TestClientCorruptResponses(t *testing.T) {
+	cases := []struct {
+		name string
+		resp []byte
+	}{
+		{"empty", nil},
+		{"header cut mid-u32", []byte{0, 0}},
+		{"header cut mid-string", append([]byte{0, 0, 0, 0}, 0, 0, 0, 9)},
+		{"garbage", []byte{9, 9, 9, 9, 9, 9, 9, 9, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exercise(t, &fakeTransport{resp: tc.resp}, func(name string, err error) {
+				if err == nil {
+					t.Errorf("%s accepted a corrupt response", name)
+				}
+			})
+		})
+	}
+}
+
+// A well-formed success header followed by a missing or truncated payload is
+// rejected by every operation that expects one. (HClose carries no payload,
+// so for it a bare success header is legitimate.)
+func TestClientTruncatedPayloads(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		resp []byte
+	}{
+		{"no payload", okHeader()},
+		{"payload cut short", append(okHeader(), 0xFF)},
+	}[:] {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewClient(&fakeTransport{resp: tc.resp}, types.RootCred())
+			if _, err := c.Open("/x", 0); err == nil {
+				t.Error("Open succeeded without an fd")
+			}
+			if _, err := c.Stat("/x"); err == nil {
+				t.Error("Stat succeeded without attributes")
+			}
+			if _, err := c.ReadDir("/x"); err == nil {
+				t.Error("ReadDir succeeded without a count")
+			}
+			h := &remoteHandle{c: c, fd: 1}
+			if _, err := h.HRead(make([]byte, 8), 0); err == nil {
+				t.Error("HRead succeeded without data")
+			}
+			if _, err := h.HWrite([]byte("x"), 0); err == nil {
+				t.Error("HWrite succeeded without a count")
+			}
+			var st kernel.ProcStatus
+			if err := h.HIoctl(procfs.PIOCSTATUS, &st); err == nil {
+				t.Error("HIoctl succeeded without a result")
+			}
+		})
+	}
+}
+
+// A byte count exceeding what the client sent is a lying server, not a
+// successful write.
+func TestClientOverlongWriteCount(t *testing.T) {
+	resp := append(okHeader(), 0, 0, 0, 200)
+	c := NewClient(&fakeTransport{resp: resp}, types.RootCred())
+	h := &remoteHandle{c: c, fd: 1}
+	if n, err := h.HWrite([]byte("xy"), 0); err == nil {
+		t.Errorf("HWrite of 2 bytes accepted a count of %d", n)
+	}
+}
+
+// A response that passes the header but carries a hostile payload: absurd
+// counts and lengths are bounded, not allocated or sliced out of range.
+func TestClientHostilePayloads(t *testing.T) {
+	huge := append(okHeader(), 0xFF, 0xFF, 0xFF, 0xFF) // count/len ~4 billion
+	c := NewClient(&fakeTransport{resp: huge}, types.RootCred())
+	if _, err := c.ReadDir("/x"); err == nil {
+		t.Error("ReadDir accepted an absurd entry count")
+	}
+	h := &remoteHandle{c: c, fd: 1}
+	if _, err := h.HRead(make([]byte, 8), 0); err == nil {
+		t.Error("HRead accepted an absurd byte length")
+	}
+	var st kernel.ProcStatus
+	if err := h.HIoctl(procfs.PIOCSTATUS, &st); err == nil {
+		t.Error("HIoctl accepted an absurd result length")
+	}
+	// Plausible length, garbage content: the per-command codec rejects it.
+	garbage := okHeader()
+	garbage = append(garbage, 0, 0, 0, 3, 1, 2, 3)
+	c2 := NewClient(&fakeTransport{resp: garbage}, types.RootCred())
+	h2 := &remoteHandle{c: c2, fd: 1}
+	if err := h2.HIoctl(procfs.PIOCSTATUS, &st); err == nil {
+		t.Error("HIoctl accepted a truncated status payload")
+	}
+}
+
+// The server answers malformed requests with error responses — it must not
+// panic, and must not report success.
+func TestServerGarbageRequests(t *testing.T) {
+	fs := memfs.New(func() int64 { return 0 })
+	srv := NewServer(vfs.NewNS(fs.Root()), nil)
+	reqs := [][]byte{
+		nil,
+		{},
+		{opOpen},                               // op with no credential
+		{opOpen, 0, 0, 0, 1},                   // credential cut short
+		{opRead, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1}, // args missing
+		{0xEE, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1},   // unknown op
+		bytes.Repeat([]byte{0xA5}, 300),
+	}
+	for i, req := range reqs {
+		resp := srv.Handle(req)
+		m := &buf{b: resp}
+		code := m.u32()
+		msg := m.str()
+		if m.err != nil {
+			t.Errorf("req %d: unparseable response %x", i, resp)
+			continue
+		}
+		if decodeErr(code, msg) == nil {
+			t.Errorf("req %d: server claimed success for garbage", i)
+		}
+	}
+}
+
+// Every sentinel error survives the wire intact — EOF in particular, which
+// readers use to find the end of trace and status files on remote mounts.
+func TestErrCodeRoundTrip(t *testing.T) {
+	for _, want := range []error{
+		vfs.ErrNotExist, vfs.ErrPerm, vfs.ErrNotDir, vfs.ErrIsDir,
+		vfs.ErrExist, vfs.ErrBusy, vfs.ErrInval, vfs.ErrBadFD,
+		vfs.ErrStale, vfs.ErrAgain, vfs.ErrNoIoctl, vfs.EOF,
+	} {
+		code, msg := encodeErr(want)
+		if got := decodeErr(code, msg); got != want {
+			t.Errorf("%v came back as %v", want, got)
+		}
+	}
+	if code, _ := encodeErr(nil); decodeErr(code, "") != nil {
+		t.Error("nil did not survive")
+	}
+	code, msg := encodeErr(errors.New("ring buffer torn"))
+	if got := decodeErr(code, msg); got == nil || got.Error() != "rfs: ring buffer torn" {
+		t.Errorf("errOther: %v", got)
 	}
 }

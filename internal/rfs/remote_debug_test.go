@@ -75,8 +75,8 @@ loop:	call fn
 	if _, code := kernel.WIfExited(status); code != 3 {
 		t.Fatalf("code = %d", code)
 	}
-	if cl.Ops < 20 {
-		t.Fatalf("ops = %d: everything should have crossed the transport", cl.Ops)
+	if cl.Ops() < 20 {
+		t.Fatalf("ops = %d: everything should have crossed the transport", cl.Ops())
 	}
 }
 

@@ -26,6 +26,17 @@ type Truss struct {
 	// Summary suppresses the per-call report and counts calls, faults and
 	// signals instead (truss -c); print the table with WriteSummary.
 	Summary bool
+	// UseTrace selects the event-trace mechanism: instead of stopping the
+	// target at every entry, exit, signal and fault and polling for the
+	// stops, the tracer enables the kernel's event ring (PCTRACE) and reads
+	// the report back from /procx/<pid>/trace — the target never stops.
+	UseTrace bool
+	// TraceCap sizes the per-process event ring (0 selects the default).
+	TraceCap int
+	// Client overrides the file system client used in trace mode; an
+	// rfs.Client here traces processes on a remote machine through the same
+	// files. Nil means the local name space under Cred.
+	Client Opener
 
 	targets map[int]*trussTarget
 	counts  map[int]int64 // syscall number -> completed calls
@@ -36,10 +47,32 @@ type Truss struct {
 	Lines int
 }
 
+// Opener is the slice of a file system client truss needs; *vfs.Client and
+// *rfs.Client both satisfy it.
+type Opener interface {
+	Open(path string, flags int) (*vfs.File, error)
+}
+
 type trussTarget struct {
 	p     *kernel.Proc
 	f     *vfs.File
 	entry map[int]string // syscall number -> formatted call at entry
+
+	// Trace mode state.
+	tf    *vfs.File // /procx/<pid>/trace
+	off   int64     // next byte to read from tf
+	pend  []byte    // partial event carried between reads
+	done  bool      // the exit event has been seen
+	calls map[int]*pendCall
+	last  *pendCall // most recent entry, for KArgStr attachment
+}
+
+// pendCall is a system call seen at entry and not yet exited, in trace mode.
+type pendCall struct {
+	num    int
+	args   [6]uint32
+	str    map[int]string // inline-captured string arguments
+	strOK  map[int]bool   // whether the capture was complete
 }
 
 // NewTruss creates a tracer acting under cred.
@@ -55,8 +88,12 @@ func NewTruss(sys *repro.System, out io.Writer, cred types.Cred) *Truss {
 }
 
 // Attach begins tracing a process: all system call entries and exits, all
-// signals, and all machine faults become events of interest.
+// signals, and all machine faults become events of interest (legacy mode),
+// or the kernel's event ring is enabled (trace mode).
 func (tr *Truss) Attach(p *kernel.Proc) error {
+	if tr.UseTrace {
+		return tr.attachTrace(p)
+	}
 	f, err := tr.Sys.OpenProc(p.Pid, vfs.ORead|vfs.OWrite, tr.Cred)
 	if err != nil {
 		return err
@@ -97,6 +134,9 @@ func (tr *Truss) Attach(p *kernel.Proc) error {
 // Run drives the system until every traced process has exited, reporting
 // each event. maxIdle bounds scheduler passes with no event (deadlock guard).
 func (tr *Truss) Run(maxSteps int) error {
+	if tr.UseTrace {
+		return tr.runTrace(maxSteps)
+	}
 	steps := 0
 	for len(tr.targets) > 0 {
 		progress := false
@@ -209,12 +249,16 @@ func (tr *Truss) handleStop(tgt *trussTarget) error {
 }
 
 func (tr *Truss) reportExit(tgt *trussTarget) {
+	tr.reportExitStatus(tgt.p.Pid, tgt.p.ExitStatus)
+}
+
+// reportExitStatus prints the termination line for a wait(2)-encoded status.
+func (tr *Truss) reportExitStatus(pid, status int) {
 	if tr.Summary {
 		return
 	}
-	status := tgt.p.ExitStatus
 	if ok, code := kernel.WIfExited(status); ok {
-		tr.printf("%5d: _exit(%d)\n", tgt.p.Pid, code)
+		tr.printf("%5d: _exit(%d)\n", pid, code)
 		return
 	}
 	if ok, sig, core := kernel.WIfSignaled(status); ok {
@@ -222,27 +266,35 @@ func (tr *Truss) reportExit(tgt *trussTarget) {
 		if core {
 			suffix = " - core dumped"
 		}
-		tr.printf("%5d: killed by %s%s\n", tgt.p.Pid, types.SigName(sig), suffix)
+		tr.printf("%5d: killed by %s%s\n", pid, types.SigName(sig), suffix)
 	}
 }
 
 // formatCall renders a system call with its arguments at the entry stop,
 // fetching string arguments from the target's address space.
 func (tr *Truss) formatCall(tgt *trussTarget, st kernel.ProcStatus) string {
-	name := kernel.SyscallName(st.What)
-	nargs := kernel.SyscallArity(st.What)
+	return tr.renderCall(st.What, st.SysArgs, func(i int, addr uint32) (string, bool) {
+		return tr.readString(tgt, addr)
+	})
+}
+
+// renderCall renders one call; str fetches a string argument by index and
+// address, however the mode at hand can.
+func (tr *Truss) renderCall(num int, args [6]uint32, str func(i int, addr uint32) (string, bool)) string {
+	name := kernel.SyscallName(num)
+	nargs := kernel.SyscallArity(num)
 	out := name + "("
 	for i := 0; i < nargs; i++ {
 		if i > 0 {
 			out += ", "
 		}
-		if i == 0 && takesPathArg(st.What) {
-			if s, ok := tr.readString(tgt, st.SysArgs[0]); ok {
+		if i == 0 && takesPathArg(num) {
+			if s, ok := str(i, args[0]); ok {
 				out += fmt.Sprintf("%q", s)
 				continue
 			}
 		}
-		out += fmt.Sprintf("%#x", st.SysArgs[i])
+		out += fmt.Sprintf("%#x", args[i])
 	}
 	return out + ")"
 }

@@ -1,0 +1,167 @@
+package tools_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/rfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// The cmd/truss demonstration workload: file I/O, a fork, a failing open.
+const trussDemoProg = `
+	movi r0, SYS_getpid
+	syscall
+	movi r0, SYS_creat
+	la r1, path
+	movi r2, 0x1B6
+	syscall
+	mov r6, r0
+	movi r0, SYS_write
+	mov r1, r6
+	la r2, msg
+	movi r3, 6
+	syscall
+	movi r0, SYS_close
+	mov r1, r6
+	syscall
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_getuid	; child
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_open	; fails: ENOENT
+	la r1, nopath
+	movi r2, 1
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+path:	.asciz "/tmp/truss.out"
+msg:	.ascii "hello\n"
+nopath:	.asciz "/no/such"
+`
+
+// runDemoTruss boots a fresh system, spawns the demo and trusses it with the
+// given configuration, returning the report text. configure may adjust the
+// tracer (and gets the system, e.g. to point tr.Client at an rfs mount).
+func runDemoTruss(t *testing.T, configure func(s *repro.System, tr *tools.Truss)) string {
+	t.Helper()
+	s := repro.NewSystem()
+	if err := s.Install("/bin/demo", trussDemoProg, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn("/bin/demo", nil, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tr := tools.NewTruss(s, &out, types.RootCred())
+	configure(s, tr)
+	if err := tr.TraceToExit(p, 10_000_000); err != nil {
+		t.Fatalf("truss: %v", err)
+	}
+	if tr.Summary {
+		tr.WriteSummary(&out)
+	}
+	return out.String()
+}
+
+// TestTrussTraceMatchesLegacy pins the headline property of the trace-mode
+// tracer: reading the report back from the kernel event ring reproduces the
+// stop-and-poll loop's output byte for byte, without ever stopping the
+// target.
+func TestTrussTraceMatchesLegacy(t *testing.T) {
+	legacy := runDemoTruss(t, func(s *repro.System, tr *tools.Truss) { tr.UseTrace = false })
+	traced := runDemoTruss(t, func(s *repro.System, tr *tools.Truss) { tr.UseTrace = true })
+	if legacy != traced {
+		t.Fatalf("trace-mode report diverges from legacy:\n--- legacy ---\n%s--- trace ---\n%s",
+			legacy, traced)
+	}
+	for _, want := range []string{
+		`creat("/tmp/truss.out", 0x1b6)`,
+		"Received signal SIGCHLD",
+		`open("/no/such", 0x1) = -1 ENOENT`,
+		"_exit(0)",
+	} {
+		if !strings.Contains(traced, want) {
+			t.Errorf("report missing %q:\n%s", want, traced)
+		}
+	}
+}
+
+// TestTrussTraceSummaryMatchesLegacy: the -c accounting agrees too, with
+// follow-forks exercising child adoption from fork events.
+func TestTrussTraceSummaryMatchesLegacy(t *testing.T) {
+	conf := func(useTrace bool) func(*repro.System, *tools.Truss) {
+		return func(s *repro.System, tr *tools.Truss) {
+			tr.UseTrace = useTrace
+			tr.Summary = true
+			tr.FollowForks = true
+		}
+	}
+	legacy := runDemoTruss(t, conf(false))
+	traced := runDemoTruss(t, conf(true))
+	if legacy != traced {
+		t.Fatalf("summary diverges:\n--- legacy ---\n%s--- trace ---\n%s", legacy, traced)
+	}
+}
+
+// TestTrussTraceFollowSameLines: in follow mode the two mechanisms may order
+// a child's final line differently (the legacy loop prints at the exit stop,
+// the trace at the exit event), but they must report exactly the same set of
+// lines.
+func TestTrussTraceFollowSameLines(t *testing.T) {
+	conf := func(useTrace bool) func(*repro.System, *tools.Truss) {
+		return func(s *repro.System, tr *tools.Truss) {
+			tr.UseTrace = useTrace
+			tr.FollowForks = true
+		}
+	}
+	sorted := func(s string) []string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		sort.Strings(lines)
+		return lines
+	}
+	legacy := sorted(runDemoTruss(t, conf(false)))
+	traced := sorted(runDemoTruss(t, conf(true)))
+	if len(legacy) != len(traced) {
+		t.Fatalf("line counts differ: %d legacy, %d traced", len(legacy), len(traced))
+	}
+	for i := range legacy {
+		if legacy[i] != traced[i] {
+			t.Fatalf("line sets differ at %q vs %q", legacy[i], traced[i])
+		}
+	}
+	if !strings.Contains(strings.Join(traced, "\n"), "(following new process") {
+		t.Fatal("follow mode never adopted the child")
+	}
+}
+
+// TestTrussTraceRemote runs the trace-mode tracer entirely over an rfs
+// mount: the control message, the trace file and the address-space reads all
+// cross the wire, and the report still matches the local one.
+func TestTrussTraceRemote(t *testing.T) {
+	local := runDemoTruss(t, func(s *repro.System, tr *tools.Truss) { tr.UseTrace = true })
+	remote := runDemoTruss(t, func(s *repro.System, tr *tools.Truss) {
+		tr.UseTrace = true
+		srv := rfs.NewServer(s.NS, nil)
+		tr.Client = rfs.NewClient(rfs.LocalTransport{S: srv}, types.RootCred())
+	})
+	if local != remote {
+		t.Fatalf("remote report diverges from local:\n--- local ---\n%s--- remote ---\n%s",
+			local, remote)
+	}
+}

@@ -20,6 +20,9 @@ func TestSoakManyFamilies(t *testing.T) {
 		t.Skip("soak test")
 	}
 	s := repro.NewSystem()
+	// Soak with event tracing on everywhere: the default ring must absorb
+	// the whole run without dropping anything.
+	s.K.EnableKTraceAll(0)
 	if err := s.Install("/bin/family", `
 	movi r0, SYS_fork
 	syscall
@@ -98,5 +101,14 @@ reap:
 	// The traced family's fork was followed and its crash observed.
 	if tr.Counts(kernel.SysFork) < 2 {
 		t.Fatalf("truss saw %d forks", tr.Counts(kernel.SysFork))
+	}
+	// The whole soak traced without losing a single event.
+	st := s.K.KTraceStats()
+	if st.Emitted == 0 {
+		t.Fatal("tracing was on but nothing was recorded")
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d of %d trace events at the default ring size",
+			st.Dropped, st.Emitted)
 	}
 }
