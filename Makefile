@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify runs the tier-1 gate (build + test) plus the race detector and vet.
-verify: build test race vet
+# bench-smoke proves the pipelined-RFS benchmark still runs (one iteration,
+# no timing claims) so a protocol change cannot silently rot it.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRFSPipelined' -benchtime 1x .
+
+# verify runs the tier-1 gate (build + test) plus the race detector, vet,
+# and the benchmark smoke run.
+verify: build test race vet bench-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

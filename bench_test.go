@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro"
@@ -952,5 +953,77 @@ func BenchmarkTruss_TraceMode(b *testing.B) {
 		if err := tr.TraceToExit(p, 10_000_000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The multiplexed transport against the stop-and-wait baseline: N client
+// goroutines share ONE connection. Stop-and-wait serializes a full round
+// trip per operation under a mutex; the mux pipeline keeps N requests in
+// flight, overlapping wire time with dispatch and batching read-mostly
+// requests under one server-lock acquisition. The acceptance bar is ≥2×
+// aggregate throughput at ≥4 concurrent clients (ISSUE 2); EXPERIMENTS.md
+// records the measured ratio.
+func BenchmarkRFSPipelined(b *testing.B) {
+	const workers = 8
+	for _, mode := range []string{"stopwait", "mux"} {
+		b.Run(mode, func(b *testing.B) {
+			s := bootBench(b)
+			s.FS.WriteFile("/tmp/bench", make([]byte, 256), 0o644, 0, 0)
+			var lock sync.Mutex
+			srv := rfs.NewServer(s.NS, &lock)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Skipf("no loopback networking: %v", err)
+			}
+			defer ln.Close()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				srv.ServeConn(conn)
+			}()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tp rfs.Transport
+			switch mode {
+			case "mux":
+				mt, err := rfs.NewMuxTransport(conn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mt.Close()
+				tp = mt
+			default:
+				tp = &rfs.ConnTransport{Conn: conn}
+			}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cl := rfs.NewClient(tp, types.RootCred())
+					for remaining.Add(-1) >= 0 {
+						if _, err := cl.Stat("/tmp/bench"); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			conn.Close()
+			<-done
+		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/procfs"
@@ -42,7 +43,17 @@ func main() {
 		fail(err)
 	}
 	defer conn.Close()
-	cl := rfs.NewClient(&rfs.ConnTransport{Conn: conn}, types.RootCred())
+	// The multiplexed transport: a bounded wait per request, and idempotent
+	// ops (read, stat, readdir, poll) retried past a lost response instead
+	// of hanging the command line forever.
+	mt, err := rfs.NewMuxTransport(conn)
+	if err != nil {
+		fail(err)
+	}
+	defer mt.Close()
+	mt.Timeout = 5 * time.Second
+	mt.Retries = 2
+	cl := rfs.NewClient(mt, types.RootCred())
 
 	cmd := flag.Arg(0)
 	if cmd == "ps" {

@@ -3,10 +3,14 @@
 // protocol, so that rfsctl (or any protocol client) can inspect and control
 // its processes from another OS process entirely.
 //
-//	rfsd [-addr 127.0.0.1:7909]
+//	rfsd [-addr 127.0.0.1:7909] [-workers 4]
 //
 // The simulation keeps running in the background between requests, so
-// remote observers see the processes making progress.
+// remote observers see the processes making progress. Each connection is
+// served in compat mode: multiplexing clients (rfsctl) get the pipelined
+// tagged protocol with -workers concurrent dispatchers, while legacy
+// stop-and-wait clients are detected by the missing handshake and served
+// one exchange at a time.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7909", "listen address")
+	workers := flag.Int("workers", 4, "concurrent request dispatchers per multiplexed connection")
 	flag.Parse()
 
 	s := repro.NewSystem()
@@ -58,6 +63,7 @@ loop:	addi r5, 1
 
 	var lock sync.Mutex
 	srv := rfs.NewServer(s.NS, &lock)
+	srv.MuxWorkers = *workers
 
 	// Keep the simulation ticking between protocol requests.
 	go func() {

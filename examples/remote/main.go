@@ -16,6 +16,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/kernel"
@@ -63,16 +64,46 @@ loop:	movi r5, 1
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	cl := rfs.NewClient(&rfs.ConnTransport{Conn: conn}, types.RootCred())
+	// The multiplexed transport pipelines tagged requests, so any number of
+	// goroutines can share this one connection; a deadline bounds each call.
+	mt, err := rfs.NewMuxTransport(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mt.Close()
+	mt.Timeout = 5 * time.Second
+	mt.Retries = 2
+	cl := rfs.NewClient(mt, types.RootCred())
 
-	// Remote process listing.
+	// Remote process listing — each directory entry inspected by its own
+	// goroutine, all pipelined on the single connection.
 	ents, err := cl.ReadDir("/proc")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("processes on the remote machine:")
-	for _, e := range ents {
-		fmt.Printf("  %s (uid %d, %d bytes)\n", e.Name, e.Attr.UID, e.Attr.Size)
+	fmt.Println("processes on the remote machine (inspected concurrently):")
+	lines := make([]string, len(ents))
+	var wg sync.WaitGroup
+	for i, e := range ents {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lines[i] = fmt.Sprintf("  %s (uid %d, %d bytes)", e.Name, e.Attr.UID, e.Attr.Size)
+			pf, err := rfs.NewClient(mt, types.RootCred()).Open("/proc/"+e.Name, vfs.ORead)
+			if err != nil {
+				return
+			}
+			defer pf.Close()
+			var info kernel.PSInfo
+			if err := pf.Ioctl(procfs.PIOCPSINFO, &info); err == nil {
+				lines[i] = fmt.Sprintf("  %-8s pid %-3d uid %-4d vsize %-6d [%c]",
+					info.Comm, info.Pid, info.UID, info.VSize, info.State)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 
 	// Remote control through the flat interface (ioctl + codecs).

@@ -37,7 +37,15 @@ func (c *Client) call(op uint8, build func(*buf)) (*buf, error) {
 	req.putU32(uint32(c.Cred.RGID))
 	req.putU32(uint32(c.Cred.EGID))
 	build(req)
-	respB, err := c.T.RoundTrip(req.b)
+	var respB []byte
+	var err error
+	if it, ok := c.T.(IdemTransport); ok {
+		// Tell the transport which requests are safe to re-send after a
+		// deadline expiry; it decides the retry policy.
+		respB, err = it.RoundTripIdem(req.b, idempotentOp(op))
+	} else {
+		respB, err = c.T.RoundTrip(req.b)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +73,14 @@ func (c *Client) Open(path string, flags int) (*vfs.File, error) {
 	}
 	fd := resp.u32()
 	if resp.err != nil {
-		return nil, resp.err
+		// The server reported success, so it holds an open fd even though
+		// the response was too mangled to use. Release it best-effort so a
+		// flaky wire cannot leak server-side descriptors. (If the fd field
+		// itself was the truncated part, fd is zero — never a served fd,
+		// so the close is harmless.)
+		err := resp.err
+		c.call(opClose, func(m *buf) { m.putU32(fd) })
+		return nil, err
 	}
 	h := &remoteHandle{c: c, fd: fd}
 	return &vfs.File{VN: &remoteVnode{c: c, path: path}, H: h, Flags: flags}, nil
@@ -141,6 +156,11 @@ func (h *remoteHandle) HRead(p []byte, off int64) (int, error) {
 	if resp.err != nil {
 		return 0, resp.err
 	}
+	// A server cannot have read more than it was asked for; an oversized
+	// payload is a protocol violation, not data to silently truncate.
+	if len(data) > len(p) {
+		return 0, errShort
+	}
 	return copy(p, data), nil
 }
 
@@ -197,16 +217,22 @@ func (h *remoteHandle) HClose() error {
 	return err
 }
 
-// HPoll implements vfs.Poller by asking the server.
+// HPoll implements vfs.Poller by asking the server. A transport failure is
+// reported as vfs.PollErr, never as "no events ready": a poll loop that
+// read a dead connection as all-clear would wait forever.
 func (h *remoteHandle) HPoll(mask int) int {
 	resp, err := h.c.call(opPoll, func(m *buf) {
 		m.putU32(h.fd)
 		m.putU32(uint32(mask))
 	})
 	if err != nil {
-		return 0
+		return vfs.PollErr
 	}
-	return int(resp.u32())
+	ev := int(resp.u32())
+	if resp.err != nil {
+		return vfs.PollErr
+	}
+	return ev
 }
 
 var (

@@ -1,0 +1,167 @@
+package rfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fault injection. The multiplexed protocol's interesting failure modes are
+// all wire-level — a response that never comes, comes twice, comes mangled,
+// or a connection that dies mid-stream — so faults are injected at the two
+// places frames touch the wire: the server's response writer (Server.
+// MuxFaults) and the client's request path (FaultTransport). Plans are
+// deterministic functions of the frame ordinal, so tests can script exact
+// scenarios and assert the outcome.
+
+// FaultKind enumerates the injectable failures.
+type FaultKind int
+
+const (
+	// FaultNone lets the frame through untouched.
+	FaultNone FaultKind = iota
+	// FaultDrop discards the frame: the peer's deadline must fire.
+	FaultDrop
+	// FaultDelay holds the frame for Faults.Delay before sending it.
+	FaultDelay
+	// FaultDup sends the frame twice; the duplicate must be dropped by the
+	// receiver's demux table, not mistaken for another request's response.
+	FaultDup
+	// FaultCorrupt mangles the frame so the receiver's framing layer
+	// rejects it (a clean connection-level failure, since payload bytes
+	// carry no checksum that could catch silent flips).
+	FaultCorrupt
+	// FaultDisconnect closes the connection mid-stream.
+	FaultDisconnect
+)
+
+// errInjected marks failures the injector itself produced.
+var errInjected = errors.New("rfs: injected fault")
+
+// Faults is a deterministic fault-injection plan. Plan receives the ordinal
+// of each frame considered (0-based) and returns the fault to apply; nil
+// Plan means no faults. Injected counts per kind for test assertions.
+type Faults struct {
+	// Plan decides the fault for the nth frame.
+	Plan func(n int) FaultKind
+	// Delay is how long FaultDelay holds a frame.
+	Delay time.Duration
+
+	mu       sync.Mutex
+	n        int
+	injected map[FaultKind]int
+}
+
+// next advances the frame ordinal and returns the planned fault.
+func (f *Faults) next() FaultKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.n
+	f.n++
+	if f.Plan == nil {
+		return FaultNone
+	}
+	k := f.Plan(n)
+	if k != FaultNone {
+		if f.injected == nil {
+			f.injected = map[FaultKind]int{}
+		}
+		f.injected[k]++
+	}
+	return k
+}
+
+// Injected reports how many faults of kind k have been injected.
+func (f *Faults) Injected(k FaultKind) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[k]
+}
+
+// writeFrame writes one frame through the fault plan (the server-side
+// injection point, installed via Server.MuxFaults).
+func (f *Faults) writeFrame(conn io.ReadWriter, frame []byte) error {
+	switch f.next() {
+	case FaultDrop:
+		return nil
+	case FaultDelay:
+		time.Sleep(f.Delay)
+		return writeFrame(conn, frame)
+	case FaultDup:
+		if err := writeFrame(conn, frame); err != nil {
+			return err
+		}
+		return writeFrame(conn, frame)
+	case FaultCorrupt:
+		// A length header claiming an impossible frame: the receiver's
+		// readFrame rejects it and the connection is dead from then on —
+		// detected corruption, not silent.
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 1<<31)
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return err
+		}
+		return errInjected
+	case FaultDisconnect:
+		if c, ok := conn.(io.Closer); ok {
+			c.Close()
+		}
+		return errInjected
+	}
+	return writeFrame(conn, frame)
+}
+
+// FaultTransport wraps a Transport and injects request-side faults, one
+// plan decision per round trip. It propagates the idempotency flag to the
+// inner transport when it understands it.
+type FaultTransport struct {
+	Inner  Transport
+	Faults *Faults
+}
+
+// RoundTrip implements Transport.
+func (t *FaultTransport) RoundTrip(req []byte) ([]byte, error) {
+	return t.RoundTripIdem(req, false)
+}
+
+// RoundTripIdem implements IdemTransport.
+func (t *FaultTransport) RoundTripIdem(req []byte, idempotent bool) ([]byte, error) {
+	switch t.Faults.next() {
+	case FaultDrop:
+		// The request vanishes; to the caller that is a deadline expiry.
+		return nil, ErrTimeout
+	case FaultDelay:
+		time.Sleep(t.Faults.Delay)
+	case FaultDup:
+		// The request reaches the server twice (e.g. a retransmit); the
+		// extra execution's response is discarded. Only safe to observe on
+		// idempotent requests, which is the point of injecting it.
+		t.forward(req, idempotent)
+	case FaultCorrupt:
+		// Mangle the opcode: the server answers with a clean protocol
+		// error rather than executing anything.
+		mangled := make([]byte, len(req))
+		copy(mangled, req)
+		if len(mangled) > 0 {
+			mangled[0] = 0xff
+		}
+		return t.forward(mangled, idempotent)
+	case FaultDisconnect:
+		if c, ok := t.Inner.(io.Closer); ok {
+			c.Close()
+		}
+		return nil, errInjected
+	}
+	return t.forward(req, idempotent)
+}
+
+func (t *FaultTransport) forward(req []byte, idempotent bool) ([]byte, error) {
+	if it, ok := t.Inner.(IdemTransport); ok {
+		return it.RoundTripIdem(req, idempotent)
+	}
+	return t.Inner.RoundTrip(req)
+}
+
+var _ IdemTransport = (*FaultTransport)(nil)

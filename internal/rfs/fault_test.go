@@ -1,0 +1,259 @@
+package rfs_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// The fault matrix: every injected wire failure must end in a clean error
+// or a successful retry — never a hang, a tag mixup, or a stranded
+// goroutine. Plans are keyed by response ordinal, which is deterministic
+// for a sequential client.
+
+// planAt returns a plan injecting kind at exactly the given ordinals.
+func planAt(kind rfs.FaultKind, ordinals ...int) func(int) rfs.FaultKind {
+	return func(n int) rfs.FaultKind {
+		for _, o := range ordinals {
+			if n == o {
+				return kind
+			}
+		}
+		return rfs.FaultNone
+	}
+}
+
+// A dropped response to an idempotent request: the deadline fires and the
+// retry succeeds.
+func TestFaultDropRetriedIdempotent(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDrop, 0)}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 100 * time.Millisecond
+	mt.Retries = 2
+	mt.Backoff = time.Millisecond
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	cl := rfs.NewClient(mt, types.RootCred())
+	attr, err := cl.Stat("/tmp/data")
+	if err != nil || attr.Size != 7 {
+		t.Fatalf("stat through a dropped response: %+v %v", attr, err)
+	}
+	if st := mt.Stats(); st.Retried < 1 {
+		t.Fatalf("stats = %+v: the drop should have forced a retry", st)
+	}
+	if faults.Injected(rfs.FaultDrop) != 1 {
+		t.Fatalf("injected drops = %d", faults.Injected(rfs.FaultDrop))
+	}
+}
+
+// A dropped response to a write: no retry (the server may have applied it);
+// the caller gets ErrTimeout, cleanly.
+func TestFaultDropWriteTimesOut(t *testing.T) {
+	defer leakCheck(t)()
+	// Ordinal 0 is the open's response; 1 is the write's.
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDrop, 1)}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 100 * time.Millisecond
+	mt.Retries = 3
+	mt.Backoff = time.Millisecond
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	cl := rfs.NewClient(mt, types.RootCred())
+	f, err := cl.Open("/tmp/data", vfs.ORead|vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Pwrite([]byte("x"), 0); !errors.Is(err, rfs.ErrTimeout) {
+		t.Fatalf("dropped write response: %v, want ErrTimeout", err)
+	}
+	if st := mt.Stats(); st.Retried != 0 {
+		t.Fatalf("stats = %+v: writes must never be retried", st)
+	}
+	f.Close()
+}
+
+// A short delay within the deadline is only a slow success.
+func TestFaultDelayWithinDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDelay, 0), Delay: 20 * time.Millisecond}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 500 * time.Millisecond
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+	if _, err := rfs.NewClient(mt, types.RootCred()).Stat("/tmp/data"); err != nil {
+		t.Fatalf("delayed response within deadline: %v", err)
+	}
+}
+
+// A delay past the deadline: the retry wins, and the late original is
+// dropped as an orphan rather than answering the wrong request.
+func TestFaultDelayPastDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDelay, 0), Delay: 150 * time.Millisecond}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 75 * time.Millisecond
+	mt.Retries = 3
+	mt.Backoff = time.Millisecond
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	attr, err := rfs.NewClient(mt, types.RootCred()).Stat("/tmp/data")
+	if err != nil || attr.Size != 7 {
+		t.Fatalf("stat with delayed original: %+v %v", attr, err)
+	}
+	if st := mt.Stats(); st.Retried < 1 || st.Expired < 1 {
+		t.Fatalf("stats = %+v, want an expiry and a retry", st)
+	}
+	deadline := time.Now().Add(time.Second)
+	for mt.Stats().Orphans == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mt.Stats().Orphans < 1 {
+		t.Fatal("the late original response was never accounted as an orphan")
+	}
+}
+
+// A duplicated response: the first copy answers the request, the second is
+// dropped by the demux table, and the connection stays usable.
+func TestFaultDuplicateResponseDropped(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDup, 0)}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = time.Second
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	cl := rfs.NewClient(mt, types.RootCred())
+	if _, err := cl.Stat("/tmp/data"); err != nil {
+		t.Fatalf("stat with duplicated response: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for mt.Stats().Orphans == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := mt.Stats().Orphans; got != 1 {
+		t.Fatalf("orphans = %d, want exactly the duplicate", got)
+	}
+	// The connection is not poisoned.
+	if _, err := cl.Stat("/tmp/data"); err != nil {
+		t.Fatalf("stat after duplicate: %v", err)
+	}
+}
+
+// A corrupt frame is detected at the framing layer and poisons the
+// connection: the victim and every later request get a prompt, clean error.
+func TestFaultCorruptFramePoisonsCleanly(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultCorrupt, 1)}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 2 * time.Second
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	cl := rfs.NewClient(mt, types.RootCred())
+	if _, err := cl.Stat("/tmp/data"); err != nil {
+		t.Fatalf("stat before corruption: %v", err)
+	}
+	start := time.Now()
+	if _, err := cl.Stat("/tmp/data"); err == nil {
+		t.Fatal("stat answered by a corrupt frame succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("corrupt frame took a timeout to surface; should fail at the framing layer")
+	}
+	if _, err := cl.Stat("/tmp/data"); err == nil {
+		t.Fatal("stat after corruption succeeded on a dead connection")
+	}
+}
+
+// A mid-stream disconnect: in-flight and subsequent requests all fail
+// promptly; concurrent callers are all released.
+func TestFaultDisconnectReleasesEveryone(t *testing.T) {
+	defer leakCheck(t)()
+	faults := &rfs.Faults{Plan: planAt(rfs.FaultDisconnect, 3)}
+	s, mt, cleanup := muxSystem(t, faults)
+	defer cleanup()
+	mt.Timeout = 2 * time.Second
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	var wg sync.WaitGroup
+	sawError := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := rfs.NewClient(mt, types.RootCred())
+			for i := 0; i < 50; i++ {
+				if _, err := cl.Stat("/tmp/data"); err != nil {
+					sawError <- err
+					return
+				}
+			}
+			sawError <- nil
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("disconnect left callers hanging")
+	}
+	close(sawError)
+	var hits int
+	for err := range sawError {
+		if err != nil {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("nobody observed the disconnect")
+	}
+}
+
+// Client-side request faults through FaultTransport: drops read as a
+// deadline expiry, corrupt requests get a protocol-level error response,
+// duplicates execute harmlessly for idempotent ops.
+func TestFaultTransportRequestSide(t *testing.T) {
+	defer leakCheck(t)()
+	s, mt, cleanup := muxSystem(t, nil)
+	defer cleanup()
+	mt.Timeout = time.Second
+	s.FS.WriteFile("/tmp/data", []byte("payload"), 0o644, 0, 0)
+
+	faults := &rfs.Faults{Plan: func(n int) rfs.FaultKind {
+		switch n {
+		case 0:
+			return rfs.FaultDrop
+		case 1:
+			return rfs.FaultCorrupt
+		case 2:
+			return rfs.FaultDup
+		}
+		return rfs.FaultNone
+	}}
+	cl := rfs.NewClient(&rfs.FaultTransport{Inner: mt, Faults: faults}, types.RootCred())
+
+	if _, err := cl.Stat("/tmp/data"); !errors.Is(err, rfs.ErrTimeout) {
+		t.Fatalf("dropped request: %v, want ErrTimeout", err)
+	}
+	if _, err := cl.Stat("/tmp/data"); err == nil {
+		t.Fatal("corrupted request opcode succeeded")
+	}
+	attr, err := cl.Stat("/tmp/data") // duplicated: executes twice, answers once
+	if err != nil || attr.Size != 7 {
+		t.Fatalf("duplicated request: %+v %v", attr, err)
+	}
+	attr, err = cl.Stat("/tmp/data") // and the wire is still healthy
+	if err != nil || attr.Size != 7 {
+		t.Fatalf("after faults: %+v %v", attr, err)
+	}
+}

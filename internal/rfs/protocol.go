@@ -55,34 +55,36 @@ const (
 	errOther
 )
 
+// wireErrs maps the vfs sentinel errors to their wire codes, in match order.
+var wireErrs = []struct {
+	code uint32
+	err  error
+}{
+	{errNotExist, vfs.ErrNotExist},
+	{errPerm, vfs.ErrPerm},
+	{errNotDir, vfs.ErrNotDir},
+	{errIsDir, vfs.ErrIsDir},
+	{errExist, vfs.ErrExist},
+	{errBusy, vfs.ErrBusy},
+	{errInval, vfs.ErrInval},
+	{errBadFD, vfs.ErrBadFD},
+	{errStale, vfs.ErrStale},
+	{errAgain, vfs.ErrAgain},
+	{errNoIoctl, vfs.ErrNoIoctl},
+	{errEOF, vfs.EOF},
+}
+
 func encodeErr(err error) (uint32, string) {
-	switch err {
-	case nil:
+	if err == nil {
 		return errNone, ""
-	case vfs.ErrNotExist:
-		return errNotExist, ""
-	case vfs.ErrPerm:
-		return errPerm, ""
-	case vfs.ErrNotDir:
-		return errNotDir, ""
-	case vfs.ErrIsDir:
-		return errIsDir, ""
-	case vfs.ErrExist:
-		return errExist, ""
-	case vfs.ErrBusy:
-		return errBusy, ""
-	case vfs.ErrInval:
-		return errInval, ""
-	case vfs.ErrBadFD:
-		return errBadFD, ""
-	case vfs.ErrStale:
-		return errStale, ""
-	case vfs.ErrAgain:
-		return errAgain, ""
-	case vfs.ErrNoIoctl:
-		return errNoIoctl, ""
-	case vfs.EOF:
-		return errEOF, ""
+	}
+	// errors.Is, not ==: a handler that wraps a sentinel (fmt.Errorf with
+	// %w) must still cross the wire as that sentinel, or the client can no
+	// longer branch on it.
+	for _, w := range wireErrs {
+		if errors.Is(err, w.err) {
+			return w.code, ""
+		}
 	}
 	return errOther, err.Error()
 }
@@ -223,19 +225,36 @@ func (m *buf) attr() vfs.Attr {
 
 // Transport carries one request/response exchange. LocalTransport invokes a
 // server directly (deterministic, in-process); ConnTransport speaks frames
-// over a net.Conn.
+// over a net.Conn one at a time; MuxTransport pipelines tagged frames.
 type Transport interface {
 	RoundTrip(req []byte) ([]byte, error)
 }
 
-// writeFrame sends one length-prefixed frame.
-func writeFrame(w io.Writer, p []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// IdemTransport is implemented by transports that can exploit knowing a
+// request is idempotent (read, stat, readdir, poll): such a request may be
+// re-sent after a deadline expiry, because executing it twice on the server
+// is harmless. The client passes the flag; the transport decides the policy.
+type IdemTransport interface {
+	Transport
+	RoundTripIdem(req []byte, idempotent bool) ([]byte, error)
+}
+
+// idempotentOp reports whether re-executing op on the server is harmless.
+func idempotentOp(op uint8) bool {
+	switch op {
+	case opRead, opStat, opReadDir, opPoll:
+		return true
 	}
-	_, err := w.Write(p)
+	return false
+}
+
+// writeFrame sends one length-prefixed frame in a single Write, so a frame
+// costs one syscall on a real connection.
+func writeFrame(w io.Writer, p []byte) error {
+	buf := make([]byte, 4+len(p))
+	binary.BigEndian.PutUint32(buf, uint32(len(p)))
+	copy(buf[4:], p)
+	_, err := w.Write(buf)
 	return err
 }
 

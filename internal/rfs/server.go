@@ -18,6 +18,12 @@ type Server struct {
 	// from multiple connections or goroutines; the kernel itself is
 	// deliberately not goroutine-safe.
 	Lock sync.Locker
+	// MuxWorkers is the number of concurrent dispatch workers per
+	// multiplexed connection (0 selects a default).
+	MuxWorkers int
+	// MuxFaults, when set, injects wire faults into multiplexed responses
+	// (tests only).
+	MuxFaults *Faults
 
 	mu     sync.Mutex
 	nextFD uint32
@@ -39,8 +45,18 @@ type noLock struct{}
 func (noLock) Lock()   {}
 func (noLock) Unlock() {}
 
-// Handle processes one request and returns the response.
+// Handle processes one request and returns the response, acquiring the
+// server lock around the dispatch.
 func (s *Server) Handle(req []byte) []byte {
+	s.Lock.Lock()
+	defer s.Lock.Unlock()
+	return s.handleLocked(req)
+}
+
+// handleLocked processes one request body with the server lock already
+// held by the caller — the multiplexed path batches several requests under
+// one acquisition.
+func (s *Server) handleLocked(req []byte) []byte {
 	in := &buf{b: req}
 	op := in.u8()
 	cred := types.Cred{
@@ -49,15 +65,12 @@ func (s *Server) Handle(req []byte) []byte {
 	}
 	cred.SUID, cred.SGID = cred.EUID, cred.EGID
 	out := &buf{}
+	var err error
 	if in.err != nil {
-		code, msg := encodeErr(in.err)
-		out.putU32(code)
-		out.putStr(msg)
-		return out.b
+		err = in.err
+	} else {
+		err = s.dispatch(op, cred, in, out)
 	}
-	s.Lock.Lock()
-	defer s.Lock.Unlock()
-	err := s.dispatch(op, cred, in, out)
 	code, msg := encodeErr(err)
 	resp := &buf{}
 	resp.putU32(code)
@@ -221,8 +234,12 @@ func (s *Server) lookupFD(fd uint32) *vfs.File {
 	return s.open[fd]
 }
 
-// ServeConn serves frames from a connection until it closes.
+// ServeConn serves frames from a connection until it closes. It speaks
+// both protocols: a first frame carrying the mux handshake upgrades the
+// connection to the tagged, pipelined protocol; anything else is served
+// stop-and-wait, one frame at a time (the legacy compat mode).
 func (s *Server) ServeConn(conn io.ReadWriter) error {
+	first := true
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
@@ -231,6 +248,13 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			}
 			return err
 		}
+		if first && string(req) == muxMagic {
+			if err := writeFrame(conn, []byte(muxMagic)); err != nil {
+				return err
+			}
+			return s.serveMux(conn)
+		}
+		first = false
 		if err := writeFrame(conn, s.Handle(req)); err != nil {
 			return err
 		}

@@ -148,7 +148,12 @@ func (tr *Truss) Run(maxSteps int) error {
 				progress = true
 				continue
 			}
-			if tgt.f.Poll(vfs.PollPri) != 0 {
+			switch ev := tgt.f.Poll(vfs.PollPri); {
+			case ev&vfs.PollErr != 0:
+				// Polling itself failed (a dead rfs transport, say):
+				// waiting would never end, so report it as the error it is.
+				return fmt.Errorf("truss: poll failed for pid %d (transport down?)", pid)
+			case ev != 0:
 				if err := tr.handleStop(tgt); err != nil {
 					return err
 				}

@@ -65,6 +65,11 @@ const (
 	PollIn  = 1 << iota // readable
 	PollOut             // writable
 	PollPri             // exceptional condition (a /proc stop is one)
+	// PollErr reports that polling itself failed — e.g. the transport under
+	// a remote handle died. Like POLLERR it is reported regardless of the
+	// requested mask; a poll loop that sees it must stop waiting, because
+	// no event will ever arrive.
+	PollErr
 )
 
 // Common error values, the moral equivalents of the UNIX errnos.
