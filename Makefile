@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,21 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRFSPipelined' -benchtime 1x .
 
+# bench-json records the key memory-pipeline and /proc benchmarks as JSON:
+# one run under the NoTLB reference interpreter labeled "before", one with
+# the translation fast path labeled "after", merged into BENCH_PR3.json.
+bench-json:
+	REPRO_NOTLB=1 $(GO) run ./cmd/benchjson -label before -o BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -label after -o BENCH_PR3.json
+
+# bench-json-smoke proves the benchjson harness still runs and parses (one
+# iteration per benchmark, results to stdout only).
+bench-json-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 1x -o ''
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
-# and the benchmark smoke run.
-verify: build test race vet bench-smoke
+# and the benchmark smoke runs.
+verify: build test race vet bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -1,0 +1,126 @@
+// Command benchjson runs the repository's key benchmarks and records the
+// results as JSON, so performance numbers ride along with the code instead
+// of living in commit messages. Each invocation writes one labeled result
+// set into the output file, merging with whatever labels are already there —
+// run once with REPRO_NOTLB=1 under the label "before" and once normally
+// under "after" to capture a fast-path comparison in a single file.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the benchmarks that characterize the vCPU memory
+// pipeline and the /proc control surface.
+const defaultBench = "BenchmarkKernelStep$|BenchmarkKernelStepTraced$|BenchmarkASRead64K_Proc$|" +
+	"BenchmarkCOWFault$|BenchmarkBreakpoints_Proc$|BenchmarkWatchpointNoWatch$"
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchLine matches one line of go test -bench output: the name, the
+// iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(out []byte) map[string]Result {
+	results := make(map[string]Result)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		results[procsSuffix.ReplaceAllString(m[1], "")] = r
+	}
+	return results
+}
+
+// procsSuffix matches the -N GOMAXPROCS suffix go test appends to benchmark
+// names; results are keyed without it so labels compare across machines.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	label := flag.String("label", "after", "result-set label in the output file")
+	out := flag.String("o", "BENCH_PR3.json", "output JSON file; empty writes to stdout only")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime, *pkg)
+	cmd.Env = os.Environ()
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.Bytes())
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	results := parse(buf.Bytes())
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	if *out == "" {
+		return
+	}
+
+	all := make(map[string]map[string]Result)
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &all); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not benchjson output: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	all[*label] = results
+	enc, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n",
+		len(results), *label, *out)
+}

@@ -49,7 +49,7 @@ func (k *Kernel) writeCore(p *Proc, sig int) {
 	out = binary.BigEndian.AppendUint32(out, regs.PC)
 	out = binary.BigEndian.AppendUint32(out, regs.SP)
 	out = binary.BigEndian.AppendUint32(out, regs.PSW)
-	segs := p.AS.Segs()
+	segs := p.AS.SegsView()
 	out = binary.BigEndian.AppendUint32(out, uint32(len(segs)))
 	for _, s := range segs {
 		out = binary.BigEndian.AppendUint32(out, s.Base)

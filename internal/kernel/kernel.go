@@ -18,6 +18,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"repro/internal/ktrace"
 	"repro/internal/mem"
@@ -28,6 +29,10 @@ import (
 type Config struct {
 	PageSize int // address-space page size (default mem.DefaultPageSize)
 	Quantum  int // instructions per scheduling quantum (default 50)
+	// NoTLB disables the vCPU translation fast path on every LWP: the
+	// reference interpreter for differential testing. The REPRO_NOTLB
+	// environment variable forces it for a whole test or benchmark run.
+	NoTLB bool
 }
 
 // Kernel is one simulated system.
@@ -35,6 +40,7 @@ type Kernel struct {
 	NS       *vfs.NS
 	PageSize int
 	Quantum  int
+	NoTLB    bool
 
 	clock   int64
 	procs   map[int]*Proc
@@ -66,10 +72,14 @@ func New(ns *vfs.NS, cfg Config) *Kernel {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 50
 	}
+	if os.Getenv("REPRO_NOTLB") != "" {
+		cfg.NoTLB = true
+	}
 	k := &Kernel{
 		NS:       ns,
 		PageSize: cfg.PageSize,
 		Quantum:  cfg.Quantum,
+		NoTLB:    cfg.NoTLB,
 		procs:    make(map[int]*Proc),
 	}
 	k.newSystemProc(0, "sched")

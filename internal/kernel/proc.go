@@ -248,6 +248,7 @@ func (p *Proc) newLWP() *LWP {
 	p.nextLWPID++
 	l := &LWP{ID: p.nextLWPID, Proc: p, state: LRun}
 	l.CPU.AS = p.AS
+	l.CPU.NoTLB = p.k.NoTLB
 	p.LWPs = append(p.LWPs, l)
 	return l
 }

@@ -138,6 +138,9 @@ type AS struct {
 	watchPgs map[uint32]bool // pages containing any watched byte
 	Stats    Stats
 	refs     int // vfork sharing count
+
+	gen  uint64 // translation generation (see frame.go)
+	zero []byte // shared read-only zero page for unmaterialized anon reads
 }
 
 // DefaultPageSize is the page size used unless overridden; "a small multiple
@@ -171,6 +174,14 @@ func (as *AS) NSegs() int { return len(as.segs) }
 // Segs returns the mappings in address order. The slice is fresh but the
 // *Seg values are live; callers must not mutate them.
 func (as *AS) Segs() []*Seg { return append([]*Seg(nil), as.segs...) }
+
+// SegsView returns the live mapping slice in address order without copying.
+// Callers must not mutate the slice or the mappings, and the view is only
+// valid until the next operation that changes the address space — it is
+// meant for read-and-encode paths (/proc map and status readers) that walk
+// the mappings once and drop the slice. Gen() identifies the validity
+// window: a view taken at one generation must not be used at another.
+func (as *AS) SegsView() []*Seg { return as.segs }
 
 // VirtSize returns the total virtual memory size in bytes — the "size"
 // reported for the process's /proc file in Figure 1.
@@ -244,6 +255,7 @@ func (as *AS) Map(a MapArgs) (*Seg, error) {
 		priv: make(map[uint32][]byte),
 	}
 	as.insert(seg)
+	as.invalidate()
 	return seg, nil
 }
 
@@ -316,6 +328,7 @@ func (as *AS) Unmap(base, length uint32) error {
 	}
 	as.segs = out
 	sort.Slice(as.segs, func(i, j int) bool { return as.segs[i].Base < as.segs[j].Base })
+	as.invalidate()
 	return nil
 }
 
@@ -380,6 +393,7 @@ func (as *AS) Mprotect(base, length uint32, prot Prot) error {
 	}
 	as.segs = out
 	sort.Slice(as.segs, func(i, j int) bool { return as.segs[i].Base < as.segs[j].Base })
+	as.invalidate()
 	return nil
 }
 
@@ -433,6 +447,7 @@ func (as *AS) Brk(newEnd uint32) error {
 			return fmt.Errorf("mem: brk collides with another mapping")
 		}
 		s.Len = uint32(newLen)
+		as.invalidate()
 		return nil
 	}
 	// Shrink: drop private pages past the new end.
@@ -442,6 +457,7 @@ func (as *AS) Brk(newEnd uint32) error {
 		}
 	}
 	s.Len = uint32(newLen)
+	as.invalidate()
 	return nil
 }
 
@@ -462,6 +478,7 @@ func (as *AS) tryGrowStack(addr uint32) bool {
 	s.Len += grow
 	as.Stats.GrowStack++
 	sort.Slice(as.segs, func(i, j int) bool { return as.segs[i].Base < as.segs[j].Base })
+	as.invalidate()
 	return true
 }
 

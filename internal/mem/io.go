@@ -120,6 +120,99 @@ func (as *AS) WriteAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// accessSeg locates the mapping for a CPU access of n bytes at addr that
+// does not cross a page boundary, applying the full access semantics in one
+// segment walk: automatic stack growth, the permission check, and the
+// watchpoint check. Mappings are page-granular, so an access within one
+// page lies within one mapping.
+func (as *AS) accessSeg(addr uint32, n int, want Prot) (*Seg, error) {
+	for {
+		s := as.FindSeg(addr)
+		if s == nil {
+			if as.tryGrowStack(addr) {
+				continue
+			}
+			return nil, &AccessError{Addr: addr, Fault: types.FLTBOUNDS}
+		}
+		if want&^s.Prot != 0 {
+			return nil, &AccessError{Addr: addr, Fault: types.FLTACCESS}
+		}
+		if want&(ProtRead|ProtWrite) != 0 {
+			if err := as.checkWatch(addr, n, want); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+// crossesPage reports whether [addr, addr+n) spans a page boundary.
+func (as *AS) crossesPage(addr uint32, n int) bool {
+	return (addr^(addr+uint32(n)-1))&^(as.pagesize-1) != 0
+}
+
+// AccessRead performs a CPU load: the permission check, watchpoint check,
+// automatic stack growth and the data copy of CheckAccess+ReadAt in a
+// single segment walk. It is the vCPU's slow path; the TLB hit path skips
+// even this.
+func (as *AS) AccessRead(addr uint32, p []byte) error {
+	return as.accessCopy(addr, p, ProtRead)
+}
+
+// AccessFetch is AccessRead with execute permission: an instruction fetch.
+// Like CheckAccess with ProtExec, it does not trigger watchpoints.
+func (as *AS) AccessFetch(addr uint32, p []byte) error {
+	return as.accessCopy(addr, p, ProtExec)
+}
+
+func (as *AS) accessCopy(addr uint32, p []byte, want Prot) error {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	if uint64(addr)+uint64(n) > 1<<32 {
+		return &AccessError{Addr: addr, Fault: types.FLTBOUNDS}
+	}
+	if as.crossesPage(addr, n) {
+		// Page-crossing accesses take the general two-pass path.
+		if err := as.CheckAccess(addr, n, want); err != nil {
+			return err
+		}
+		_, err := as.ReadAt(p, int64(addr))
+		return err
+	}
+	s, err := as.accessSeg(addr, n, want)
+	if err != nil {
+		return err
+	}
+	as.readChunk(s, addr, p)
+	return nil
+}
+
+// AccessWrite performs a CPU store: CheckAccess+WriteAt folded into a
+// single segment walk, including copy-on-write materialization.
+func (as *AS) AccessWrite(addr uint32, p []byte) error {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	if uint64(addr)+uint64(n) > 1<<32 {
+		return &AccessError{Addr: addr, Fault: types.FLTBOUNDS}
+	}
+	if as.crossesPage(addr, n) {
+		if err := as.CheckAccess(addr, n, ProtWrite); err != nil {
+			return err
+		}
+		_, err := as.WriteAt(p, int64(addr))
+		return err
+	}
+	s, err := as.accessSeg(addr, n, ProtWrite)
+	if err != nil {
+		return err
+	}
+	return as.writeChunk(s, addr, p)
+}
+
 // pageEnd returns the address of the end of the page containing at.
 func (as *AS) pageEnd(at uint64) uint64 {
 	return (at &^ uint64(as.pagesize-1)) + uint64(as.pagesize)
@@ -163,6 +256,9 @@ func (as *AS) writeChunk(s *Seg, addr uint32, p []byte) error {
 			as.Stats.MinorFaults++
 		}
 		s.priv[pb] = pg
+		// The page now resolves to private storage instead of the backing
+		// object (or the zero page): cached translations are stale.
+		as.invalidate()
 	}
 	copy(pg[addr-pb:], p)
 	return nil

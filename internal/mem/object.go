@@ -143,4 +143,14 @@ func (b *ByteObject) WriteObj(p []byte, off int64) error {
 	return fmt.Errorf("mem: object %s is read-only", b.Name)
 }
 
-var _ Object = (*ByteObject)(nil)
+// ObjBytes implements RevBytes: the data is immutable, so the revision is
+// constant and pages over it may be frame-cached indefinitely.
+func (b *ByteObject) ObjBytes() ([]byte, uint64) { return b.Data, 0 }
+
+// ObjRev implements RevBytes.
+func (b *ByteObject) ObjRev() uint64 { return 0 }
+
+var (
+	_ Object   = (*ByteObject)(nil)
+	_ RevBytes = (*ByteObject)(nil)
+)

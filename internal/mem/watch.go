@@ -36,9 +36,11 @@ func (as *AS) SetWatch(addr, length uint32, mode Prot) {
 	as.rebuildWatchPages()
 }
 
-// ClearWatch removes all watchpoints starting at addr.
+// ClearWatch removes all watchpoints starting at addr. It builds a fresh
+// slice rather than filtering in place so that a WatchesView taken before
+// the clear keeps describing the pre-clear state.
 func (as *AS) ClearWatch(addr uint32) {
-	out := as.watches[:0]
+	var out []Watch
 	for _, w := range as.watches {
 		if w.Addr != addr {
 			out = append(out, w)
@@ -54,8 +56,18 @@ func (as *AS) ClearAllWatches() {
 	as.rebuildWatchPages()
 }
 
-// Watches returns the active watchpoints.
+// Watches returns a copy of the active watchpoints.
 func (as *AS) Watches() []Watch { return append([]Watch(nil), as.watches...) }
+
+// WatchesView returns the live watchpoint slice without copying. Callers
+// must not mutate it, and the view is only valid until the next watchpoint
+// change — read-and-encode paths (PIOCGWATCH, status readers) walk it once
+// and drop it. Watchpoint mutations build fresh slices, so a view taken
+// before a change still describes the pre-change state.
+func (as *AS) WatchesView() []Watch { return as.watches }
+
+// NWatches returns the number of active watchpoints without copying.
+func (as *AS) NWatches() int { return len(as.watches) }
 
 func (as *AS) rebuildWatchPages() {
 	as.watchPgs = make(map[uint32]bool)
@@ -67,6 +79,9 @@ func (as *AS) rebuildWatchPages() {
 			}
 		}
 	}
+	// Watched pages are never frame-cached; any change to the watched set
+	// must drop every cached translation.
+	as.invalidate()
 }
 
 // checkWatch implements the page-protection watchpoint model. If the access

@@ -10,6 +10,7 @@ package memfs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/types"
@@ -49,6 +50,14 @@ type node struct {
 	attr     vfs.Attr
 	data     []byte           // regular files
 	children map[string]*node // directories
+
+	// rev counts content changes to data (in-place or reallocating). It
+	// backs the mem.RevBytes contract that lets mapped pages of this file
+	// be frame-cached by the vCPU fast path: a cached page is revalidated
+	// against ObjRev before every use, so a write to a mapped file is
+	// visible to a running process exactly as it is on the ReadObj slow
+	// path. Atomic so ObjRev needs no lock on the per-instruction path.
+	rev atomic.Uint64
 }
 
 // --- vfs.Vnode ---
@@ -87,6 +96,7 @@ func (n *node) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 	if flags&vfs.OTrunc != 0 && !isDir {
 		n.mu.Lock()
 		n.data = nil
+		n.rev.Add(1)
 		n.attr.MTime = n.fs.now()
 		n.mu.Unlock()
 	}
@@ -243,13 +253,27 @@ func (n *node) WriteObj(p []byte, off int64) error {
 		n.data = grown
 	}
 	copy(n.data[off:], p)
+	n.rev.Add(1)
 	n.attr.MTime = n.fs.now()
 	return nil
 }
 
+// ObjBytes implements mem.RevBytes: the current file contents plus the
+// revision under which they may be aliased by frame caches.
+func (n *node) ObjBytes() ([]byte, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.data, n.rev.Load()
+}
+
+// ObjRev implements mem.RevBytes. It is consulted on every cached access to
+// a mapped page of this file, so it takes no lock.
+func (n *node) ObjRev() uint64 { return n.rev.Load() }
+
 var (
 	_ vfs.DirWriter = (*node)(nil)
 	_ mem.Object    = (*node)(nil)
+	_ mem.RevBytes  = (*node)(nil)
 )
 
 // fileHandle is the open state of a regular file (or read-only directory).
@@ -348,6 +372,7 @@ func (fs *FS) WriteFile(path string, data []byte, mode uint16, uid, gid int) err
 	}
 	child.mu.Lock()
 	child.data = append([]byte(nil), data...)
+	child.rev.Add(1)
 	child.attr.Mode = mode
 	child.attr.UID = uid
 	child.attr.GID = gid

@@ -491,7 +491,7 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 			return nil
 		}
 		var ws []PrWatch
-		for _, w := range p.AS.Watches() {
+		for _, w := range p.AS.WatchesView() {
 			ws = append(ws, PrWatch{Vaddr: w.Addr, Size: w.Len, Mode: w.Mode})
 		}
 		*out = ws
@@ -508,7 +508,7 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 		}
 		var pd []PageData
 		ps := int(p.AS.PageSize())
-		for _, s := range p.AS.Segs() {
+		for _, s := range p.AS.SegsView() {
 			pd = append(pd, PageData{
 				Vaddr:        s.Base,
 				Pages:        (int(s.Len) + ps - 1) / ps,
@@ -541,7 +541,7 @@ func (h *Handle) MapEntries() []PrMap {
 		return nil
 	}
 	var out []PrMap
-	for _, s := range h.p.AS.Segs() {
+	for _, s := range h.p.AS.SegsView() {
 		out = append(out, PrMap{
 			Vaddr: s.Base, Size: s.Len, Off: s.Off,
 			Prot: s.Prot, Shared: s.Shared, Kind: s.Kind, Name: s.ObjName(),

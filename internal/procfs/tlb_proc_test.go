@@ -1,0 +1,132 @@
+package procfs_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/procfs"
+	"repro/internal/types"
+)
+
+// These tests pin TLB invalidation driven from outside the process, through
+// /proc: the target is mid-run with hot translations when the controller
+// changes mapping state, and the change must take effect on the target's
+// very next access.
+
+// symAddr resolves a label in the target's image.
+func symAddr(t *testing.T, p *kernel.Proc, name string) uint32 {
+	t.Helper()
+	syms, _ := p.ImageSyms()
+	for _, sym := range syms {
+		if sym.Name == name {
+			return sym.Value
+		}
+	}
+	t.Fatalf("symbol %q not found", name)
+	return 0
+}
+
+// A watchpoint set through PIOCSWATCH while the target is storing to the
+// page every few instructions must fire on the next store: the target's
+// writable translation for the page is hot and has to be shot down.
+func TestTLBInvalidateWatchThroughProc(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("hotwatch", `
+	la r3, cell
+	movi r4, 0
+loop:	addi r4, 1
+	st r4, [r3]		; store every iteration: translation stays hot
+	movi r5, 0
+	movhi r5, 2		; 131072 iterations
+	cmp r4, r5
+	jne loop
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+cell:	.word 0
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50) // let it run: the store translation is now cached
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	cell := symAddr(t, p, "cell")
+	var fset types.FltSet
+	fset.Add(types.FLTWATCH)
+	if err := f.Ioctl(procfs.PIOCSFAULT, &fset); err != nil {
+		t.Fatal(err)
+	}
+	w := procfs.PrWatch{Vaddr: cell, Size: 4, Mode: mem.ProtWrite}
+	if err := f.Ioctl(procfs.PIOCSWATCH, &w); err != nil {
+		t.Fatal(err)
+	}
+	var st kernel.ProcStatus
+	if err := f.Ioctl(procfs.PIOCWSTOP, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Why != kernel.WhyFaulted || st.What != types.FLTWATCH {
+		t.Fatalf("stop: %+v, want FLTWATCH (no stop means a stale TLB entry kept absorbing the stores)", st)
+	}
+
+	// Clearing the watchpoint must re-enable direct stores; the target
+	// finishes its remaining iterations promptly.
+	if err := f.Ioctl(procfs.PIOCCWATCH, nil); err != nil {
+		t.Fatal(err)
+	}
+	run := kernel.RunFlags{ClearFault: true}
+	if err := f.Ioctl(procfs.PIOCRUN, &run); err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, code := kernel.WIfExited(status); !ok || code != 0 {
+		t.Fatalf("status = %#x", status)
+	}
+}
+
+// A write to the target's address space through the /proc image file must be
+// seen by the target's next load. The target polls a flag it has read (as
+// zero) many times, so its translation for the page — the shared zero page,
+// before the write materializes a private one — is as stale as it can get.
+func TestTLBInvalidateProcPwrite(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("hotflag", `
+	la r3, flag
+loop:	ld r4, [r3]		; poll: translation stays hot
+	cmpi r4, 0
+	je loop
+	movi r0, SYS_exit
+	mov r1, r4
+	syscall
+.bss
+flag:	.space 4
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50) // the flag page's read translation is now cached
+	f := rootOpen(t, s, p.Pid)
+	defer f.Close()
+
+	flag := symAddr(t, p, "flag")
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], 9)
+	if _, err := f.Pwrite(word[:], int64(flag)); err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.WaitExit(p)
+	if err != nil {
+		t.Fatalf("target never saw the written flag (stale zero-page translation): %v", err)
+	}
+	if ok, code := kernel.WIfExited(status); !ok || code != 9 {
+		t.Fatalf("status = %#x, want exit 9", status)
+	}
+}

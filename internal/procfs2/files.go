@@ -119,7 +119,7 @@ func (h *fileHandle) snapshot() ([]byte, error) {
 	case FileMap:
 		var entries []MapEntry
 		if p.AS != nil {
-			for _, s := range p.AS.Segs() {
+			for _, s := range p.AS.SegsView() {
 				entries = append(entries, MapEntry{
 					Vaddr: s.Base, Size: s.Len, Off: s.Off,
 					Prot: uint32(s.Prot), Shared: s.Shared,

@@ -69,6 +69,14 @@ type CPU struct {
 	FP      FPRegs
 	AS      *mem.AS
 	Instret uint64 // instructions retired (for resource usage reporting)
+
+	// NoTLB disables the translation fast path: every access takes the
+	// full segment-walk slow path. The reference interpreter for
+	// differential testing (and the REPRO_NOTLB ablation).
+	NoTLB bool
+
+	tlb   tlb     // software TLB (tlb.go)
+	stage [4]byte // slow-path staging buffer; reused to avoid per-access allocation
 }
 
 // fault builds a fault trap.
@@ -84,21 +92,29 @@ func memFault(err error, fallback uint32) Trap {
 	return fault(types.FLTACCESS, fallback)
 }
 
+// The memory pipeline. Each accessor tries the TLB hit path first — a
+// direct frame access with no segment walk, no staging buffer and no
+// allocation — and falls back to the combined AccessRead/AccessWrite slow
+// path, which performs the permission check, watchpoint check, automatic
+// stack growth, copy-on-write and the copy in a single segment walk.
+// Word accesses are 4-aligned and the page size is a multiple of 4, so an
+// aligned word never crosses a page; byte accesses are single-byte. A TLB
+// hit therefore always lies entirely inside its frame.
+
 func (c *CPU) load32(addr uint32) (uint32, *Trap) {
 	if addr%4 != 0 {
 		t := fault(types.FLTBOUNDS, addr)
 		return 0, &t
 	}
-	if err := c.AS.CheckAccess(addr, 4, mem.ProtRead); err != nil {
+	if f := c.tlbFrame(addr, mem.ProtRead, false); f != nil {
+		off := addr & c.tlb.mask
+		return binary.BigEndian.Uint32(f[off : off+4]), nil
+	}
+	if err := c.AS.AccessRead(addr, c.stage[:4]); err != nil {
 		t := memFault(err, addr)
 		return 0, &t
 	}
-	var b [4]byte
-	if _, err := c.AS.ReadAt(b[:], int64(addr)); err != nil {
-		t := memFault(err, addr)
-		return 0, &t
-	}
-	return binary.BigEndian.Uint32(b[:]), nil
+	return binary.BigEndian.Uint32(c.stage[:4]), nil
 }
 
 func (c *CPU) store32(addr, v uint32) *Trap {
@@ -106,13 +122,13 @@ func (c *CPU) store32(addr, v uint32) *Trap {
 		t := fault(types.FLTBOUNDS, addr)
 		return &t
 	}
-	if err := c.AS.CheckAccess(addr, 4, mem.ProtWrite); err != nil {
-		t := memFault(err, addr)
-		return &t
+	if f := c.tlbFrame(addr, mem.ProtWrite, true); f != nil {
+		off := addr & c.tlb.mask
+		binary.BigEndian.PutUint32(f[off:off+4], v)
+		return nil
 	}
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], v)
-	if _, err := c.AS.WriteAt(b[:], int64(addr)); err != nil {
+	binary.BigEndian.PutUint32(c.stage[:4], v)
+	if err := c.AS.AccessWrite(addr, c.stage[:4]); err != nil {
 		t := memFault(err, addr)
 		return &t
 	}
@@ -120,28 +136,40 @@ func (c *CPU) store32(addr, v uint32) *Trap {
 }
 
 func (c *CPU) load8(addr uint32) (byte, *Trap) {
-	if err := c.AS.CheckAccess(addr, 1, mem.ProtRead); err != nil {
+	if f := c.tlbFrame(addr, mem.ProtRead, false); f != nil {
+		return f[addr&c.tlb.mask], nil
+	}
+	if err := c.AS.AccessRead(addr, c.stage[:1]); err != nil {
 		t := memFault(err, addr)
 		return 0, &t
 	}
-	var b [1]byte
-	if _, err := c.AS.ReadAt(b[:], int64(addr)); err != nil {
-		t := memFault(err, addr)
-		return 0, &t
-	}
-	return b[0], nil
+	return c.stage[0], nil
 }
 
 func (c *CPU) store8(addr uint32, v byte) *Trap {
-	if err := c.AS.CheckAccess(addr, 1, mem.ProtWrite); err != nil {
-		t := memFault(err, addr)
-		return &t
+	if f := c.tlbFrame(addr, mem.ProtWrite, true); f != nil {
+		f[addr&c.tlb.mask] = v
+		return nil
 	}
-	if _, err := c.AS.WriteAt([]byte{v}, int64(addr)); err != nil {
+	c.stage[0] = v
+	if err := c.AS.AccessWrite(addr, c.stage[:1]); err != nil {
 		t := memFault(err, addr)
 		return &t
 	}
 	return nil
+}
+
+// fetch32 reads the instruction word at pc (execute permission).
+func (c *CPU) fetch32(pc uint32) (uint32, *Trap) {
+	if f := c.tlbFrame(pc, mem.ProtExec, false); f != nil {
+		off := pc & c.tlb.mask
+		return binary.BigEndian.Uint32(f[off : off+4]), nil
+	}
+	if err := c.AS.AccessFetch(pc, c.stage[:4]); err != nil {
+		t := memFault(err, pc)
+		return 0, &t
+	}
+	return binary.BigEndian.Uint32(c.stage[:4]), nil
 }
 
 // Push pushes a word onto the user stack (used by the kernel to build signal
@@ -217,14 +245,10 @@ func (c *CPU) Step() Trap {
 	if pc%4 != 0 {
 		return fault(types.FLTBOUNDS, pc)
 	}
-	if err := c.AS.CheckAccess(pc, 4, mem.ProtExec); err != nil {
-		return memFault(err, pc)
+	w, ft := c.fetch32(pc)
+	if ft != nil {
+		return *ft
 	}
-	var ib [4]byte
-	if _, err := c.AS.ReadAt(ib[:], int64(pc)); err != nil {
-		return memFault(err, pc)
-	}
-	w := binary.BigEndian.Uint32(ib[:])
 	op, ra, rb, imm := Decode(w)
 	// The register fields are 4 bits wide but the machine has NumRegs
 	// registers; encodings naming nonexistent registers are illegal

@@ -1,0 +1,112 @@
+package vcpu
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// The software TLB: a small direct-mapped per-CPU cache of page
+// translations, the fast half of the fast-path/slow-path split. A hit
+// resolves a load, store, or instruction fetch to a direct frame access —
+// one index, one tag compare, one permission check — with no segment walk,
+// no staging buffer, and no allocation. Everything with interesting
+// semantics (watchpoints, copy-on-write, stack growth, write-through,
+// permission faults) is deliberately a miss, so the slow path keeps those
+// behaviors bit-for-bit identical to the unaccelerated interpreter.
+//
+// Validity is the generation protocol of mem/frame.go: entries are tagged
+// with the address space pointer and its Gen() at fill time, and the whole
+// TLB is dropped the moment either changes — exec replaces the AS pointer,
+// every mapping mutation (map/unmap/mprotect/brk/stack growth/COW
+// materialization/watchpoint change) bumps the generation, whether it came
+// from the process itself, a /proc as-file write, or ptrace POKE. Frames
+// backed by a mapped object additionally carry the object's revision and
+// are revalidated against it on every hit, so writes to a mapped file are
+// never served stale.
+
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits
+	// tlbNoTag is an address that is never a page base (page bases are
+	// page-aligned); empty entries carry it so they can never hit.
+	tlbNoTag = ^uint32(0)
+)
+
+// tlbEntry caches one page translation.
+type tlbEntry struct {
+	tag      uint32   // page base address, or tlbNoTag
+	prot     mem.Prot // effective permissions of the mapping
+	writable bool     // stores may write the frame directly
+	rev      uint64   // object revision at fill time (obj != nil)
+	frame    []byte   // one page of live storage
+	obj      mem.RevBytes // non-nil: revalidate every hit against ObjRev
+}
+
+// tlb is the per-CPU translation cache.
+type tlb struct {
+	as    *mem.AS // address space the entries describe
+	gen   uint64  // its Gen() when they were filled
+	shift uint32  // page shift
+	mask  uint32  // page size - 1
+	ents  [tlbSize]tlbEntry
+}
+
+// reset re-keys the TLB to the address space's current generation and
+// drops every entry. Called whenever the AS pointer or generation moves.
+func (t *tlb) reset(as *mem.AS) {
+	t.as = as
+	t.gen = as.Gen()
+	ps := as.PageSize()
+	t.mask = ps - 1
+	t.shift = uint32(bits.TrailingZeros32(ps))
+	for i := range t.ents {
+		t.ents[i] = tlbEntry{tag: tlbNoTag}
+	}
+}
+
+// tlbFrame returns the direct frame for an access needing permissions want
+// at addr, or nil when the access must take the slow path. write
+// additionally requires a writable (materialized private) frame. On a miss
+// it attempts one fill via AS.PageFrame; pages the address space refuses to
+// expose (watched, shared, COW-unresolved without stable backing) simply
+// never enter the cache.
+func (c *CPU) tlbFrame(addr uint32, want mem.Prot, write bool) []byte {
+	if c.NoTLB || c.AS == nil {
+		return nil
+	}
+	t := &c.tlb
+	if t.as != c.AS || t.gen != c.AS.Gen() {
+		t.reset(c.AS)
+	}
+	e := &t.ents[(addr>>t.shift)&(tlbSize-1)]
+	tag := addr &^ t.mask
+	if e.tag == tag {
+		if e.obj != nil && e.obj.ObjRev() != e.rev {
+			e.tag = tlbNoTag // the mapped object changed under the entry
+		} else if e.prot&want == want && (!write || e.writable) {
+			return e.frame
+		} else {
+			// The translation is valid but this access needs the slow
+			// path: a permission fault, or a store that must do
+			// copy-on-write first. Keep the entry.
+			return nil
+		}
+	}
+	f, ok := c.AS.PageFrame(tag)
+	if !ok {
+		// Negatively cache the refusal: accesses to a watched, shared or
+		// otherwise uncacheable page go straight to the slow path without
+		// re-asking PageFrame, until the next generation bump (or a
+		// conflicting fill) drops the entry. prot == 0 can satisfy no
+		// access, so the entry can never serve a hit.
+		*e = tlbEntry{tag: tag}
+		return nil
+	}
+	e.tag, e.prot, e.writable, e.frame, e.obj, e.rev =
+		tag, f.Prot, f.Writable, f.Data, f.Obj, f.Rev
+	if f.Prot&want != want || (write && !f.Writable) {
+		return nil
+	}
+	return e.frame
+}
