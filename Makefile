@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,21 @@ bench-json:
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o ''
 
+# fault-smoke is the short fault-injection matrix: every site armed through
+# /procx/faults, errnos checked, a seeded storm with the kernel-wide
+# invariant checker after every injected fault — all under the race detector.
+fault-smoke:
+	$(GO) test -race -short -count=1 -run 'TestFaultMatrix|TestFaultStorm|TestFaultPlanDeterminism' .
+
+# bench-json-pr5 records the same benchmark set with the fault sites compiled
+# in but disarmed, as BENCH_PR5.json; compare BenchmarkKernelStep against the
+# "after" label in BENCH_PR3.json to confirm the disabled-site cost is noise.
+bench-json-pr5:
+	$(GO) run ./cmd/benchjson -label after -o BENCH_PR5.json
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
-# and the benchmark smoke runs.
-verify: build test race vet bench-smoke bench-json-smoke
+# the fault-matrix smoke, and the benchmark smoke runs.
+verify: build test race vet fault-smoke bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

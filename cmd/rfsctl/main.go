@@ -10,6 +10,10 @@
 //	rfsctl [-addr host:port] stop <pid>    remote PIOCSTOP
 //	rfsctl [-addr host:port] run <pid>     remote PIOCRUN
 //	rfsctl [-addr host:port] kill <pid> <signal>
+//	rfsctl [-addr host:port] faults                  list fault-injection sites
+//	rfsctl [-addr host:port] faults <site> [k=v...]  arm a site ("mem.page nth=3 pid=5")
+//	rfsctl [-addr host:port] faults clear [site]     disarm all sites (or one)
+//	rfsctl [-addr host:port] faults reset            disarm and zero all counters
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/kernel"
@@ -36,7 +41,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7909", "rfsd address")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: rfsctl [-addr host:port] ps|status|map|stop|run|kill ...")
+		fail("usage: rfsctl [-addr host:port] ps|status|map|stop|run|kill|faults ...")
 	}
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -74,6 +79,43 @@ func main() {
 			}
 			f.Close()
 		}
+		return
+	}
+
+	if cmd == "faults" {
+		// The remote fault-injection control file: with no further
+		// arguments, dump the site listing; otherwise the remaining
+		// arguments form one control command ("mem.page nth=3", "clear",
+		// "reset") written to it.
+		if flag.NArg() == 1 {
+			f, err := cl.Open("/procx/faults", vfs.ORead)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			buf := make([]byte, 4096)
+			var off int64
+			for {
+				n, err := f.Pread(buf, off)
+				if n > 0 {
+					os.Stdout.Write(buf[:n])
+					off += int64(n)
+				}
+				if err != nil || n == 0 {
+					return
+				}
+			}
+		}
+		f, err := cl.Open("/procx/faults", vfs.OWrite)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		line := strings.Join(flag.Args()[1:], " ")
+		if _, err := f.Write([]byte(line)); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok:", line)
 		return
 	}
 

@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func hits(s *Site, pid, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = s.Hit(pid)
+	}
+	return out
+}
+
+func count(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDisarmedNeverFires(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	for i := 0; i < 100; i++ {
+		if s.Hit(i) {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if s.Hits() != 0 {
+		t.Fatalf("disarmed site counted %d hits", s.Hits())
+	}
+}
+
+func TestNth(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	s.Arm(Spec{Nth: 3})
+	got := hits(s, 1, 6)
+	want := []bool{false, false, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Injected() != 1 || s.Hits() != 6 {
+		t.Fatalf("injected=%d hits=%d", s.Injected(), s.Hits())
+	}
+}
+
+func TestEveryAndCount(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	s.Arm(Spec{Every: 2, Count: 3})
+	got := hits(s, 1, 10)
+	if n := count(got); n != 3 {
+		t.Fatalf("injected %d times, want 3 (capped)", n)
+	}
+	for i, g := range got {
+		want := i%2 == 1 && i < 6
+		if g != want {
+			t.Fatalf("hit %d: got %v, want %v", i, g, want)
+		}
+	}
+}
+
+func TestAlways(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	s.Arm(Spec{})
+	if n := count(hits(s, 1, 5)); n != 5 {
+		t.Fatalf("empty spec fired %d/5 times", n)
+	}
+}
+
+func TestPidScope(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	s.Arm(Spec{Pid: 7})
+	if s.Hit(3) || s.Hit(0) {
+		t.Fatal("pid-scoped plan fired for the wrong pid")
+	}
+	if !s.Hit(7) {
+		t.Fatal("pid-scoped plan did not fire for its pid")
+	}
+	// Ordinals count only matching hits: nth=2 pid=7 must ignore other pids.
+	s.Arm(Spec{Nth: 2, Pid: 7})
+	s.Hit(9)
+	if s.Hit(7) {
+		t.Fatal("first matching hit fired on nth=2")
+	}
+	s.Hit(9)
+	if !s.Hit(7) {
+		t.Fatal("second matching hit did not fire on nth=2")
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		r := NewRegistry()
+		s := r.Register("a")
+		s.Arm(Spec{Seed: seed, Prob: 300})
+		return hits(s, 1, 200)
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	n := count(a)
+	if n == 0 || n == len(a) {
+		t.Fatalf("prob=300 fired %d/%d times", n, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRearmReplays(t *testing.T) {
+	r := NewRegistry()
+	s := r.Register("a")
+	s.Arm(Spec{Nth: 2})
+	first := hits(s, 1, 4)
+	s.Arm(Spec{Nth: 2})
+	second := hits(s, 1, 4)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("re-armed plan diverged at hit %d", i)
+		}
+	}
+	if s.Injected() != 2 {
+		t.Fatalf("cumulative injected = %d, want 2", s.Injected())
+	}
+	r.Reset()
+	if s.Injected() != 0 || s.Hits() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	if _, armed := s.Plan(); armed {
+		t.Fatal("Reset left a plan armed")
+	}
+}
+
+func TestRegistryExecAndEncode(t *testing.T) {
+	r := NewRegistry()
+	r.Register("mem.page")
+	r.Register("kernel.fork")
+	if err := r.Exec("mem.page nth=3 pid=5"); err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := r.Lookup("mem.page").Plan()
+	if !ok || sp.Nth != 3 || sp.Pid != 5 {
+		t.Fatalf("plan = %+v armed=%v", sp, ok)
+	}
+	if err := r.Exec("bogus.site nth=1"); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := r.Exec("mem.page nth=x"); err == nil {
+		t.Fatal("malformed field accepted")
+	}
+	if err := r.Exec("# comment"); err != nil {
+		t.Fatal("comment rejected")
+	}
+	text := string(r.EncodeText())
+	if !strings.Contains(text, "site mem.page plan=nth=3,pid=5") {
+		t.Fatalf("encoding missing armed plan:\n%s", text)
+	}
+	if !strings.Contains(text, "site kernel.fork plan=-") {
+		t.Fatalf("encoding missing disarmed site:\n%s", text)
+	}
+	if err := r.Exec("clear mem.page"); err != nil {
+		t.Fatal(err)
+	}
+	if _, armed := r.Lookup("mem.page").Plan(); armed {
+		t.Fatal("clear did not disarm")
+	}
+	if err := r.ExecAll("mem.page every=2\nkernel.fork nth=1\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.AnyArmed() {
+		t.Fatal("ExecAll armed nothing")
+	}
+	if err := r.Exec("clear"); err != nil {
+		t.Fatal(err)
+	}
+	if r.AnyArmed() {
+		t.Fatal("clear left plans armed")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	sp := Spec{Nth: 3, Every: 4, Count: 5, Pid: 6, Seed: 7, Prob: 8}
+	got, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sp {
+		t.Fatalf("round trip: got %+v, want %+v", got, sp)
+	}
+	if got, err := ParseSpec("always"); err != nil || got != (Spec{}) {
+		t.Fatalf("always: %+v, %v", got, err)
+	}
+}
+
+func TestSeq(t *testing.T) {
+	var s Seq
+	if s.Next() != 0 || s.Next() != 1 {
+		t.Fatal("Seq ordinals not consecutive from zero")
+	}
+	s.Note(2)
+	s.Note(2)
+	s.Note(3)
+	if s.Injected(2) != 2 || s.Injected(3) != 1 || s.Injected(4) != 0 {
+		t.Fatal("Seq injection tallies wrong")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Register("x")
+	b := r.Register("x")
+	if a != b {
+		t.Fatal("Register returned distinct sites for one name")
+	}
+	if len(r.Sites()) != 1 {
+		t.Fatal("duplicate registration grew the site list")
+	}
+}

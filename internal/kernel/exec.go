@@ -58,7 +58,16 @@ func (k *Kernel) execProc(l *LWP, path string, args []string) sysResult {
 		return rerr(errno)
 	}
 
-	// Honor set-id bits.
+	// Build the new address space first: a failed exec must leave the old
+	// image — and the process's credentials and /proc descriptors — exactly
+	// as they were. (Honoring set-id bits before this point would leak a
+	// credential change out of an exec that then failed with ENOMEM.)
+	newAS, entry, errno := k.buildAS(vn, abs, img, p.Pid)
+	if errno != 0 {
+		return rerr(errno)
+	}
+
+	// The exec is committed. Honor set-id bits.
 	setid := false
 	if attr.Mode&vfs.ModeSetUID != 0 && p.Cred.EUID != attr.UID {
 		p.Cred.EUID = attr.UID
@@ -82,12 +91,6 @@ func (k *Kernel) execProc(l *LWP, path string, args []string) sysResult {
 			l.dstop = true
 			k.tracef("pid %d set-id exec: /proc descriptors invalidated", p.Pid)
 		}
-	}
-
-	// Build the new address space.
-	newAS, entry, errno := k.buildAS(vn, abs, img)
-	if errno != 0 {
-		return rerr(errno)
 	}
 
 	// exec single-threads the process.
@@ -172,8 +175,12 @@ func (k *Kernel) loadImage(vn vfs.Vnode) (*xout.File, Errno) {
 // text mapping of the executable, a private read/write data mapping, an
 // anonymous break (bss) mapping, a stack mapping the system will grow
 // automatically, and the text and data of each shared library.
-func (k *Kernel) buildAS(vn vfs.Vnode, path string, img *xout.File) (*mem.AS, uint32, Errno) {
+func (k *Kernel) buildAS(vn vfs.Vnode, path string, img *xout.File, pid int) (*mem.AS, uint32, Errno) {
+	if siteFaultExec.Hit(pid) {
+		return nil, 0, ENOMEM
+	}
 	as := mem.NewAS(k.PageSize)
+	as.SetOwner(pid)
 	obj, ok := vn.(mem.Object)
 	if !ok {
 		// Executables on file systems that cannot be mapped directly are

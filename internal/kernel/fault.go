@@ -1,0 +1,15 @@
+package kernel
+
+import "repro/internal/fault"
+
+// Fault-injection sites for the kernel proper. Each guards a resource
+// acquisition the paper's error-return semantics depend on: a refused
+// acquisition must come back to the calling process as a plain errno
+// (EAGAIN, ENOMEM, EMFILE, ENFILE) with no partially-created state left in
+// the process table or any descriptor table.
+var (
+	siteFaultFork = fault.Register("kernel.fork") // proc-slot allocation in fork/vfork
+	siteFaultExec = fault.Register("kernel.exec") // exec image segment setup
+	siteFaultFD   = fault.Register("kernel.fd")   // file-descriptor allocation
+	siteFaultPipe = fault.Register("kernel.pipe") // pipe creation
+)

@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// CheckInvariants verifies the kernel's structural invariants: process-table
+// and pid-map consistency, parent/child bidirectionality, descriptor-table
+// and address-space accounting, /proc writer counts, TLB generation
+// consistency for every LWP, and the sanity of every ktrace ring. The
+// fault-storm harness calls it after every injected fault — an error path
+// anywhere in the kernel must leave all of this exactly as it found it.
+// It returns the first violation found, or nil.
+func (k *Kernel) CheckInvariants() error {
+	if len(k.procs) != len(k.order) {
+		return fmt.Errorf("kernel: pid map has %d entries, order list %d", len(k.procs), len(k.order))
+	}
+	seen := make(map[int]bool, len(k.order))
+	checkedAS := make(map[*mem.AS]bool)
+	for _, p := range k.order {
+		if q := k.procs[p.Pid]; q != p {
+			return fmt.Errorf("kernel: pid %d maps to a different process record", p.Pid)
+		}
+		if seen[p.Pid] {
+			return fmt.Errorf("kernel: pid %d appears twice in the order list", p.Pid)
+		}
+		seen[p.Pid] = true
+		if err := k.checkProc(p, checkedAS); err != nil {
+			return err
+		}
+	}
+	if k.initProc != nil && k.procs[1] != k.initProc {
+		return fmt.Errorf("kernel: init process is not pid 1 in the table")
+	}
+	if k.KT != nil {
+		if err := k.KT.CheckSane(); err != nil {
+			return fmt.Errorf("kernel trace ring: %w", err)
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) checkProc(p *Proc, checkedAS map[*mem.AS]bool) error {
+	switch p.state {
+	case PAlive, PZombie:
+	case PGone:
+		return fmt.Errorf("kernel: pid %d is reaped but still in the process table", p.Pid)
+	default:
+		return fmt.Errorf("kernel: pid %d in unknown state %d", p.Pid, p.state)
+	}
+	// Pid 0 is the conventional sched/swapper system process; every other
+	// slot must carry a positive pid.
+	if p.Pid < 0 || (p.Pid == 0 && !p.System) {
+		return fmt.Errorf("kernel: process with non-positive pid %d", p.Pid)
+	}
+	// Parent/child links must be bidirectional.
+	if p.Parent != nil {
+		found := false
+		for _, kid := range p.Parent.Kids {
+			if kid == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("kernel: pid %d has parent %d but is not among its children",
+				p.Pid, p.Parent.Pid)
+		}
+	}
+	for _, kid := range p.Kids {
+		if kid.Parent != p {
+			return fmt.Errorf("kernel: pid %d lists child %d whose parent is not it",
+				p.Pid, kid.Pid)
+		}
+		if kid.state == PGone {
+			return fmt.Errorf("kernel: pid %d lists reaped child %d", p.Pid, kid.Pid)
+		}
+	}
+	// Descriptor table: zombies hold nothing; live tables stay in bounds.
+	if p.state == PZombie {
+		if len(p.fds) != 0 {
+			return fmt.Errorf("kernel: zombie pid %d holds %d open descriptors", p.Pid, len(p.fds))
+		}
+		if p.AS != nil {
+			return fmt.Errorf("kernel: zombie pid %d still holds an address space", p.Pid)
+		}
+		for _, l := range p.LWPs {
+			if l.state != LZombie {
+				return fmt.Errorf("kernel: zombie pid %d has a live LWP", p.Pid)
+			}
+		}
+	} else {
+		if p.fds == nil {
+			return fmt.Errorf("kernel: live pid %d has no descriptor table", p.Pid)
+		}
+		for fd, f := range p.fds {
+			if fd < 0 || fd >= OpenFDLimit {
+				return fmt.Errorf("kernel: pid %d descriptor %d out of range", p.Pid, fd)
+			}
+			if f == nil {
+				return fmt.Errorf("kernel: pid %d descriptor %d is nil", p.Pid, fd)
+			}
+		}
+		if !p.System && len(p.LWPs) > 0 && p.AS == nil {
+			return fmt.Errorf("kernel: live pid %d has LWPs but no address space", p.Pid)
+		}
+		if p.borrowsAS && (p.Parent == nil || p.AS == nil || p.AS != p.Parent.AS) {
+			return fmt.Errorf("kernel: pid %d claims a borrowed address space it does not share", p.Pid)
+		}
+	}
+	if p.Trace.Writers < 0 {
+		return fmt.Errorf("kernel: pid %d has %d /proc writers", p.Pid, p.Trace.Writers)
+	}
+	if p.Trace.Excl && p.Trace.Writers < 1 {
+		return fmt.Errorf("kernel: pid %d holds exclusive /proc access with no writers", p.Pid)
+	}
+	if p.AS != nil && !checkedAS[p.AS] {
+		// vfork sharers alias one space; check it once.
+		checkedAS[p.AS] = true
+		if err := p.AS.CheckInvariants(); err != nil {
+			return fmt.Errorf("pid %d: %w", p.Pid, err)
+		}
+	}
+	for _, l := range p.LWPs {
+		if p.state == PAlive && l.state != LZombie && l.CPU.AS != p.AS {
+			return fmt.Errorf("kernel: pid %d LWP runs on a different address space", p.Pid)
+		}
+		if err := l.CPU.CheckTLB(); err != nil {
+			return fmt.Errorf("pid %d: %w", p.Pid, err)
+		}
+	}
+	if p.KT != nil {
+		if err := p.KT.CheckSane(); err != nil {
+			return fmt.Errorf("pid %d trace ring: %w", p.Pid, err)
+		}
+	}
+	return nil
+}

@@ -120,6 +120,11 @@ func (k *Kernel) NewPipe() (r, w *vfs.File) {
 
 func sysPipe(k *Kernel, l *LWP) sysResult {
 	p := l.Proc
+	// The pipe-slot check precedes creation: a refused pipe(2) allocates
+	// nothing to roll back.
+	if siteFaultPipe.Hit(p.Pid) {
+		return rerr(ENFILE)
+	}
 	r, w := k.NewPipe()
 	rfd, e := p.allocFD(r)
 	if e != 0 {

@@ -35,6 +35,10 @@ func mapErr(err error) Errno {
 		return EAGAIN
 	case vfs.ErrNoIoctl:
 		return ENOTTY
+	case vfs.ErrIO:
+		return EIO
+	case vfs.ErrNoSpace:
+		return ENOSPC
 	case vfs.EOF:
 		return 0
 	}
@@ -49,8 +53,13 @@ func (p *Proc) absPath(path string) string {
 	return p.CWD + "/" + path
 }
 
-// allocFD installs an open file at the lowest free descriptor.
+// allocFD installs an open file at the lowest free descriptor. An injected
+// failure behaves exactly like a full descriptor table; every caller already
+// rolls back (closing the file, or unwinding a partially-built pipe).
 func (p *Proc) allocFD(f *vfs.File) (int, Errno) {
+	if siteFaultFD.Hit(p.Pid) {
+		return 0, EMFILE
+	}
 	for fd := 0; fd < OpenFDLimit; fd++ {
 		if _, used := p.fds[fd]; !used {
 			p.fds[fd] = f

@@ -181,6 +181,11 @@ func sysVfork(k *Kernel, l *LWP) sysResult {
 // debugger complete control.
 func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 	p := l.Proc
+	// The proc-slot check precedes every allocation: a refused fork leaves
+	// no pid, address space, or descriptor reference behind.
+	if siteFaultFork.Hit(p.Pid) {
+		return nil
+	}
 	child := &Proc{
 		k:         k,
 		Pid:       k.allocPid(),
@@ -207,6 +212,10 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 		child.borrowsAS = true
 	} else {
 		child.AS = p.AS.Dup()
+		// Attribute the copy to the child so pid-scoped fault plans can
+		// target its pages; a vfork child borrows the parent's space and
+		// keeps the parent's attribution.
+		child.AS.SetOwner(child.Pid)
 	}
 	// Duplicate the descriptor table: entries share open file descriptions.
 	for fd, f := range p.fds {

@@ -258,6 +258,38 @@ func (r *Ring) Append(e *Event) {
 	r.dropped++
 }
 
+// CheckSane verifies the ring's structural invariants: occupancy within
+// capacity, a start index inside the buffer, a sequence counter consistent
+// with occupancy, and strictly consecutive sequence numbers oldest-to-newest.
+// The fault-storm harness calls it after every injected fault; nothing in
+// the fault paths should be able to corrupt the trace of its own fallout.
+func (r *Ring) CheckSane() error {
+	if r.cap <= 0 {
+		return fmt.Errorf("ktrace: ring capacity %d", r.cap)
+	}
+	if len(r.buf) > r.cap {
+		return fmt.Errorf("ktrace: ring holds %d events over capacity %d", len(r.buf), r.cap)
+	}
+	if r.start != 0 && r.start >= len(r.buf) {
+		return fmt.Errorf("ktrace: ring start %d outside %d retained events", r.start, len(r.buf))
+	}
+	if r.next < uint64(len(r.buf)) {
+		return fmt.Errorf("ktrace: ring sequence %d below occupancy %d", r.next, len(r.buf))
+	}
+	if len(r.buf) == r.cap && r.dropped == 0 && r.next > uint64(len(r.buf)) {
+		return fmt.Errorf("ktrace: full ring advanced %d events without counting drops",
+			r.next-uint64(len(r.buf)))
+	}
+	want := r.FirstSeq()
+	for i := 0; i < len(r.buf); i++ {
+		if got := r.at(i).Seq; got != want {
+			return fmt.Errorf("ktrace: event %d has seq %d, want %d", i, got, want)
+		}
+		want++
+	}
+	return nil
+}
+
 // at returns the i-th oldest retained event.
 func (r *Ring) at(i int) Event {
 	j := r.start + i

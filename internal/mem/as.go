@@ -138,6 +138,7 @@ type AS struct {
 	watchPgs map[uint32]bool // pages containing any watched byte
 	Stats    Stats
 	refs     int // vfork sharing count
+	owner    int // pid charged for fault-injection hits (0: unattributed)
 
 	gen  uint64 // translation generation (see frame.go)
 	zero []byte // shared read-only zero page for unmaterialized anon reads
@@ -158,6 +159,13 @@ func NewAS(pagesize int) *AS {
 
 // PageSize returns the address space's page size.
 func (as *AS) PageSize() uint32 { return as.pagesize }
+
+// SetOwner attributes the address space to pid for fault injection. A vfork
+// child shares the parent's space and therefore the parent's attribution.
+func (as *AS) SetOwner(pid int) { as.owner = pid }
+
+// Owner returns the pid the address space is attributed to (0 if none).
+func (as *AS) Owner() int { return as.owner }
 
 // pageBase rounds addr down to a page boundary.
 func (as *AS) pageBase(addr uint32) uint32 { return addr &^ (as.pagesize - 1) }
@@ -222,6 +230,9 @@ type MapArgs struct {
 func (as *AS) Map(a MapArgs) (*Seg, error) {
 	if a.Len == 0 {
 		return nil, fmt.Errorf("mem: zero-length mapping")
+	}
+	if siteFaultMap.Hit(as.owner) {
+		return nil, ErrNoMem
 	}
 	length := as.roundUp(uint64(a.Len))
 	if length > 1<<32 {
@@ -442,6 +453,9 @@ func (as *AS) Brk(newEnd uint32) error {
 		return nil
 	}
 	if newLen > uint64(s.Len) {
+		if siteFaultBrk.Hit(as.owner) {
+			return ErrNoMem
+		}
 		// Check the growth region is free.
 		if as.overlaps(uint32(s.End()), newLen-uint64(s.Len)) {
 			return fmt.Errorf("mem: brk collides with another mapping")
@@ -466,6 +480,13 @@ func (as *AS) Brk(newEnd uint32) error {
 func (as *AS) tryGrowStack(addr uint32) bool {
 	s := as.stack
 	if s == nil || addr >= s.Base || addr < as.stackLim {
+		return false
+	}
+	// An injected failure here means the kernel "could not find a frame for
+	// the new stack page": the access falls through to the ordinary bounds
+	// fault and the process takes SIGSEGV, exactly as on a real system whose
+	// stack could not be extended.
+	if siteFaultStack.Hit(as.owner) {
 		return false
 	}
 	newBase := as.pageBase(addr)

@@ -1,0 +1,27 @@
+package mem
+
+import (
+	"errors"
+
+	"repro/internal/fault"
+)
+
+// ErrNoMem reports an (injected) page-frame allocation failure: the model
+// never runs out of real memory, but the kernel's error paths have to behave
+// as if it could. Address-space operations return it directly (the kernel
+// maps it to ENOMEM); CPU-path accesses surface it as an access fault, which
+// the process sees as SIGSEGV — the hard-failure convention for a store that
+// cannot be materialized.
+var ErrNoMem = errors.New("mem: out of page frames")
+
+// Fault-injection sites for the address-space layer. Each guards one
+// resource-acquisition choke point; all are disarmed (one atomic load) in
+// normal operation. Hits are attributed to the owning process's pid so
+// pid-scoped storms can target one victim.
+var (
+	siteFaultPage  = fault.Register("mem.page")  // zero-fill page materialization
+	siteFaultCOW   = fault.Register("mem.cow")   // copy-on-write page copy
+	siteFaultMap   = fault.Register("mem.map")   // new mapping (mmap, exec segments)
+	siteFaultBrk   = fault.Register("mem.brk")   // break growth
+	siteFaultStack = fault.Register("mem.stack") // automatic stack growth
+)

@@ -248,6 +248,17 @@ func (as *AS) writeChunk(s *Seg, addr uint32, p []byte) error {
 	pb := as.pageBase(addr)
 	pg, ok := s.priv[pb]
 	if !ok {
+		// Materializing a private page is the model's page-frame allocation:
+		// a copy for object-backed pages (COW), zero-fill otherwise. The
+		// injection sites sit before any state changes, so a refused
+		// materialization leaves the page exactly as it was.
+		if s.Obj != nil {
+			if siteFaultCOW.Hit(as.owner) {
+				return ErrNoMem
+			}
+		} else if siteFaultPage.Hit(as.owner) {
+			return ErrNoMem
+		}
 		pg = make([]byte, as.pagesize)
 		if s.Obj != nil {
 			s.Obj.ReadObj(pg, s.Off+int64(pb)-int64(s.Base))

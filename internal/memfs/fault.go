@@ -1,0 +1,15 @@
+package memfs
+
+import "repro/internal/fault"
+
+// Fault-injection sites for the in-memory file system. The vnode layer has
+// no process context, so hits carry pid 0 and pid-scoped plans never fire
+// here; site-wide plans (nth-hit, every-k, seeded) do. Injected errors use
+// the vfs sentinels the kernel maps to ENOSPC and EIO — the file-system
+// errors the paper's error-return semantics are supposed to carry through
+// read(2)/write(2)/creat(2) unchanged.
+var (
+	siteFaultCreate = fault.Register("memfs.create") // node allocation (creat, mkdir)
+	siteFaultRead   = fault.Register("memfs.read")   // handle reads
+	siteFaultWrite  = fault.Register("memfs.write")  // handle writes
+)

@@ -170,6 +170,12 @@ func (n *node) addChild(name string, mode uint16, c types.Cred, typ vfs.VType) (
 	if _, dup := n.children[name]; dup {
 		return nil, vfs.ErrExist
 	}
+	// The node-allocation check runs after validation so an injected ENOSPC
+	// reports a full file system, not a malformed request, and before the
+	// child exists so nothing dangles.
+	if siteFaultCreate.Hit(0) {
+		return nil, vfs.ErrNoSpace
+	}
 	child := &node{
 		fs:   n.fs,
 		path: joinPath(n.path, name),
@@ -283,6 +289,9 @@ type fileHandle struct {
 
 // HRead implements vfs.Handle.
 func (h *fileHandle) HRead(p []byte, off int64) (int, error) {
+	if siteFaultRead.Hit(0) {
+		return 0, vfs.ErrIO
+	}
 	h.n.mu.Lock()
 	defer h.n.mu.Unlock()
 	if h.n.attr.Type == vfs.VDIR {
@@ -297,6 +306,9 @@ func (h *fileHandle) HRead(p []byte, off int64) (int, error) {
 
 // HWrite implements vfs.Handle.
 func (h *fileHandle) HWrite(p []byte, off int64) (int, error) {
+	if siteFaultWrite.Hit(0) {
+		return 0, vfs.ErrIO
+	}
 	if err := h.n.WriteObj(p, off); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,8 @@
+package procfs
+
+import "repro/internal/fault"
+
+// siteFaultIoctl guards the ioctl operations that allocate scratch state
+// (status snapshots, map tables, watchpoint lists). Hits are attributed to
+// the target process's pid.
+var siteFaultIoctl = fault.Register("procfs.ioctl")

@@ -137,6 +137,16 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 	if h.writeOp(cmd) && h.flags&vfs.OWrite == 0 {
 		return vfs.ErrBadFD
 	}
+	// Operations that build scratch state (snapshots, map tables, watchpoint
+	// lists, descriptor images) are the ioctl layer's allocation choke
+	// point; an injected failure surfaces as EAGAIN, the paper's errno for
+	// a transiently unsatisfiable request.
+	switch cmd {
+	case PIOCACTION, PIOCMAP, PIOCGWATCH, PIOCPGD, PIOCGROUPS, PIOCOPENM:
+		if siteFaultIoctl.Hit(h.p.Pid) {
+			return vfs.ErrAgain
+		}
+	}
 	p := h.p
 	switch cmd {
 	case PIOCSTATUS:

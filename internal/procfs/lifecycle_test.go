@@ -1,6 +1,7 @@
 package procfs_test
 
 import (
+	"sort"
 	"testing"
 
 	"repro"
@@ -222,5 +223,157 @@ loop:	jmp loop
 	n, err = f.Pread(buf, end-16)
 	if err != nil || n != 16 {
 		t.Fatalf("read n = %d err=%v", n, err)
+	}
+}
+
+// saneStaleErr reports whether an operation on a handle to a dead or dying
+// process failed the way the interface promises: with a clean errno, never
+// a panic and never success on state that no longer exists.
+func saneStaleErr(err error) bool {
+	switch err {
+	case nil, vfs.ErrNotExist, vfs.ErrStale, vfs.ErrAgain, vfs.ErrPerm,
+		vfs.ErrBusy, vfs.ErrInval, vfs.EOF:
+		return true
+	}
+	return false
+}
+
+// staleOps is every op class a holder of a /proc (or /procx) handle can
+// issue: reads, writes, control ioctls and polls. Each must stay sane at
+// every point of the target's lifecycle.
+func staleOps(f *vfs.File) map[string]func() error {
+	buf := make([]byte, 16)
+	return map[string]func() error{
+		"pread":  func() error { _, err := f.Pread(buf, 0x80000000); return err },
+		"pwrite": func() error { _, err := f.Pwrite(buf, 0x80000000); return err },
+		"status": func() error {
+			var st kernel.ProcStatus
+			return f.Ioctl(procfs.PIOCSTATUS, &st)
+		},
+		"psinfo": func() error {
+			var info kernel.PSInfo
+			return f.Ioctl(procfs.PIOCPSINFO, &info)
+		},
+		"map": func() error {
+			var maps []procfs.PrMap
+			return f.Ioctl(procfs.PIOCMAP, &maps)
+		},
+		"cred": func() error {
+			var cred types.Cred
+			return f.Ioctl(procfs.PIOCCRED, &cred)
+		},
+		"kill": func() error {
+			sig := types.SIGINT
+			return f.Ioctl(procfs.PIOCKILL, &sig)
+		},
+		"poll": func() error { f.Poll(vfs.PollPri | vfs.PollIn); return nil },
+	}
+}
+
+// TestStaleHandleOpsAfterReap holds a /proc handle across the target's full
+// exit and reap, then issues every op class: each must return a proper errno
+// rather than panic, succeed, or hang.
+func TestStaleHandleOpsAfterReap(t *testing.T) {
+	s := repro.NewSystem()
+	p, err := s.SpawnProg("brief", "\tmovi r0, SYS_exit\n\tmovi r1, 0\n\tsyscall\n",
+		types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := open(t, s, p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	defer f.Close()
+	s.WaitExit(p)
+	s.Run(5)
+	if p.State() != kernel.PGone {
+		t.Fatalf("target not reaped: state %v", p.State())
+	}
+	for name, op := range staleOps(f) {
+		err := op()
+		if err == nil && (name == "pread" || name == "pwrite" || name == "status" ||
+			name == "map" || name == "kill") {
+			t.Errorf("%s on reaped process succeeded", name)
+		}
+		if !saneStaleErr(err) {
+			t.Errorf("%s on reaped process: unexpected error %v", name, err)
+		}
+	}
+}
+
+// TestOpsRacedAgainstExit interleaves every op class with single scheduler
+// steps while the target runs to its death and reap, so each op hits every
+// lifecycle stage at least once. No interleaving may panic or return a
+// non-errno failure; this is the regression test for handles held across
+// process exit.
+func TestOpsRacedAgainstExit(t *testing.T) {
+	s := repro.NewSystem()
+	// The target burns a few quanta and exits on its own.
+	p, err := s.SpawnProg("doomed", `
+	movi r2, 200
+loop:	addi r2, -1
+	cmpi r2, 0
+	jne loop
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := open(t, s, p.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+	defer flat.Close()
+	cl := s.Client(types.RootCred())
+	base := "/procx/" + procfs.PidName(p.Pid)
+	asF, err := cl.Open(base+"/as", vfs.ORead|vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asF.Close()
+	statusF, err := cl.Open(base+"/status", vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statusF.Close()
+
+	ops := staleOps(flat)
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 32)
+	hier := map[string]func() error{
+		"as-read":     func() error { _, err := asF.Pread(buf, 0x80000000); return err },
+		"as-write":    func() error { _, err := asF.Pwrite(buf, 0x80000000); return err },
+		"status-read": func() error { _, err := statusF.Pread(buf, 0); return err },
+	}
+	for name := range hier {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for i := 0; i < 3000 && p.State() != kernel.PGone; i++ {
+		s.Step()
+		name := names[i%len(names)]
+		op := ops[name]
+		if op == nil {
+			op = hier[name]
+		}
+		if err := op(); !saneStaleErr(err) {
+			t.Fatalf("step %d: %s returned unexpected error %v (state %v)",
+				i, name, err, p.State())
+		}
+	}
+	if p.State() != kernel.PGone {
+		t.Fatal("target never exited under the op barrage")
+	}
+	// One more full sweep on the now-reaped target.
+	for _, name := range names {
+		op := ops[name]
+		if op == nil {
+			op = hier[name]
+		}
+		if err := op(); !saneStaleErr(err) {
+			t.Errorf("%s after reap: unexpected error %v", name, err)
+		}
 	}
 }

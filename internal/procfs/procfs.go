@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/types"
 	"repro/internal/vfs"
 )
@@ -215,6 +216,11 @@ func (h *Handle) HWrite(b []byte, off int64) (int, error) {
 	}
 	n, err := h.p.AS.WriteAt(b, off)
 	if err != nil {
+		if err == mem.ErrNoMem {
+			// A refused page materialization is a transient resource
+			// failure, not an address error; report it as such.
+			return 0, vfs.ErrAgain
+		}
 		return 0, vfs.Errorf("procfs: write at unmapped offset %#x", off)
 	}
 	return n, nil

@@ -2,6 +2,7 @@ package procfs2
 
 import (
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/types"
 	"repro/internal/vfs"
 )
@@ -200,6 +201,11 @@ func (h *fileHandle) HWrite(b []byte, off int64) (int, error) {
 		}
 		n, err := h.v.p.AS.WriteAt(b, off)
 		if err != nil {
+			if err == mem.ErrNoMem {
+				// A refused page materialization is a transient resource
+				// failure, not an address error; report it as such.
+				return 0, vfs.ErrAgain
+			}
 			return 0, vfs.Errorf("procfs2: as write at unmapped offset %#x", off)
 		}
 		return n, nil

@@ -83,6 +83,8 @@ func (r *rootDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 	switch name {
 	case RootKTrace, RootTrace:
 		return &rootTraceVnode{fs: r.fs, name: name}, nil
+	case RootFaults:
+		return &rootFaultsVnode{fs: r.fs}, nil
 	}
 	pid, err := strconv.Atoi(name)
 	if err != nil || pid < 0 {
@@ -102,6 +104,11 @@ func (r *rootDir) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 		vn := &rootTraceVnode{fs: r.fs, name: name}
 		attr, _ := vn.VAttr()
 		out = append(out, vfs.Dirent{Name: name, Attr: attr})
+	}
+	{
+		vn := &rootFaultsVnode{fs: r.fs}
+		attr, _ := vn.VAttr()
+		out = append(out, vfs.Dirent{Name: RootFaults, Attr: attr})
 	}
 	for _, p := range r.fs.K.Procs() {
 		d := &pidDir{fs: r.fs, p: p}

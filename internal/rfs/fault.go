@@ -4,8 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
-	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Fault injection. The multiplexed protocol's interesting failure modes are
@@ -43,41 +44,36 @@ var errInjected = errors.New("rfs: injected fault")
 // Faults is a deterministic fault-injection plan. Plan receives the ordinal
 // of each frame considered (0-based) and returns the fault to apply; nil
 // Plan means no faults. Injected counts per kind for test assertions.
+//
+// The bookkeeping — the frame ordinal and the per-kind injection tally — is
+// fault.Seq, the same deterministic core the kernel's internal/fault sites
+// use, so wire-level and kernel-level injection share one shape: a plan is a
+// pure function of the decision ordinal.
 type Faults struct {
 	// Plan decides the fault for the nth frame.
 	Plan func(n int) FaultKind
 	// Delay is how long FaultDelay holds a frame.
 	Delay time.Duration
 
-	mu       sync.Mutex
-	n        int
-	injected map[FaultKind]int
+	seq fault.Seq
 }
 
 // next advances the frame ordinal and returns the planned fault.
 func (f *Faults) next() FaultKind {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := f.n
-	f.n++
+	n := f.seq.Next()
 	if f.Plan == nil {
 		return FaultNone
 	}
 	k := f.Plan(n)
 	if k != FaultNone {
-		if f.injected == nil {
-			f.injected = map[FaultKind]int{}
-		}
-		f.injected[k]++
+		f.seq.Note(int(k))
 	}
 	return k
 }
 
 // Injected reports how many faults of kind k have been injected.
 func (f *Faults) Injected(k FaultKind) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.injected[k]
+	return f.seq.Injected(int(k))
 }
 
 // writeFrame writes one frame through the fault plan (the server-side

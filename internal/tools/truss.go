@@ -150,9 +150,14 @@ func (tr *Truss) Run(maxSteps int) error {
 			}
 			switch ev := tgt.f.Poll(vfs.PollPri); {
 			case ev&vfs.PollErr != 0:
-				// Polling itself failed (a dead rfs transport, say):
-				// waiting would never end, so report it as the error it is.
-				return fmt.Errorf("truss: poll failed for pid %d (transport down?)", pid)
+				// Polling itself failed: the /proc descriptor was
+				// invalidated (set-id exec) or the transport under it died.
+				// Waiting would never end, so stop tracing this target with
+				// a diagnostic rather than spinning forever.
+				tr.printf("%5d: (target lost: /proc descriptor failed — target died or transport disconnected)\n", pid)
+				tgt.f.Close()
+				delete(tr.targets, pid)
+				progress = true
 			case ev != 0:
 				if err := tr.handleStop(tgt); err != nil {
 					return err

@@ -1,0 +1,97 @@
+package tools_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/procfs"
+	"repro/internal/procfs2"
+	"repro/internal/rfs"
+	"repro/internal/tools"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// A target that is reaped before its trace completes must not hang the
+// tracer: truss reports the loss and the exit status it can still see, and
+// returns cleanly. The scenario: the event ring is disabled out from under
+// the tracer, so the exit event is never recorded, and the target exits and
+// is reaped with the trace forever incomplete.
+func TestTrussTraceTargetLost(t *testing.T) {
+	s := repro.NewSystem()
+	if err := s.Install("/bin/brief", `
+	movi r0, SYS_getpid
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn("/bin/brief", nil, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tr := tools.NewTruss(s, &out, types.RootCred())
+	tr.UseTrace = true
+	if err := tr.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: disable the ring behind the tracer's back.
+	ctl, err := s.Client(types.RootCred()).Open(
+		"/procx/"+procfs.PidName(p.Pid)+"/ctl", vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Write((&procfs2.CtlBuf{}).Trace(0).Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Close()
+	if err := tr.Run(1_000_000); err != nil {
+		t.Fatalf("truss did not exit cleanly on a lost target: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "target lost") {
+		t.Fatalf("no loss diagnostic in the report:\n%s", report)
+	}
+	if !strings.Contains(report, "_exit(0)") {
+		t.Fatalf("no exit status in the report:\n%s", report)
+	}
+}
+
+// A transport that dies mid-trace must surface as a named diagnostic error,
+// not a hang or a raw protocol error. The scenario: truss traces through an
+// rfs client whose connection disconnects after the attach.
+func TestTrussTraceTransportLost(t *testing.T) {
+	s := repro.NewSystem()
+	if err := s.Install("/bin/demo", trussDemoProg, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn("/bin/demo", nil, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rfs.NewServer(s.NS, nil)
+	n := 0
+	faults := &rfs.Faults{Plan: func(ord int) rfs.FaultKind {
+		n = ord
+		if ord >= 8 { // let the attach through, then cut the line
+			return rfs.FaultDisconnect
+		}
+		return rfs.FaultNone
+	}}
+	ft := &rfs.FaultTransport{Inner: rfs.LocalTransport{S: srv}, Faults: faults}
+	var out strings.Builder
+	tr := tools.NewTruss(s, &out, types.RootCred())
+	tr.UseTrace = true
+	tr.Client = rfs.NewClient(ft, types.RootCred())
+	err = tr.TraceToExit(p, 1_000_000)
+	if err == nil {
+		t.Fatalf("truss succeeded across a dead transport (last frame %d):\n%s", n, out.String())
+	}
+	if !strings.Contains(err.Error(), "trace transport lost") {
+		t.Fatalf("undiagnosed transport failure: %v", err)
+	}
+}

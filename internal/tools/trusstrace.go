@@ -131,6 +131,17 @@ func (tr *Truss) runTrace(maxSteps int) error {
 			all = append(all[:i+1], rest...)
 		}
 		for pid, tgt := range tr.targets {
+			if !tgt.done && tgt.p.State() == kernel.PGone && len(tgt.pend) == 0 {
+				// The target is gone from the process table and its drained
+				// ring carried no final event: nothing more will ever
+				// arrive, so stepping and re-polling would hang. Report the
+				// loss and the exit status we can still see, and move on.
+				if !tr.Summary {
+					tr.printf("%5d: (target lost: process reaped before its trace completed)\n", pid)
+				}
+				tr.reportExitStatus(pid, tgt.p.ExitStatus)
+				tgt.done = true
+			}
 			if tgt.done {
 				tgt.tf.Close()
 				tgt.f.Close()
@@ -176,7 +187,11 @@ func (tr *Truss) drainTrace(tgt *trussTarget, buf []byte) ([]ktrace.Event, error
 			if errors.Is(err, ktrace.ErrDataLoss) {
 				return evs, fmt.Errorf("truss: pid %d: trace data lost; raise TraceCap", tgt.p.Pid)
 			}
-			return evs, err
+			// Anything else is the transport going away under us (a dead
+			// rfs connection, an invalidated /proc descriptor): name it,
+			// so the tool can exit with a diagnostic instead of a raw
+			// protocol error.
+			return evs, fmt.Errorf("truss: pid %d: trace transport lost (%v)", tgt.p.Pid, err)
 		}
 		if n == 0 {
 			return evs, nil

@@ -1,0 +1,53 @@
+package vcpu
+
+import "fmt"
+
+// CheckTLB verifies the TLB's generation contract: when the cache claims to
+// be current (same AS pointer, same generation), every entry must agree with
+// a fresh PageFrame translation. The fault-storm harness calls it after every
+// injected fault — a refused allocation must never leave a stale translation
+// behind at an unchanged generation. A cache keyed to an old generation or a
+// different space is legal (it drops itself on the next access), so that
+// case vacuously passes.
+func (c *CPU) CheckTLB() error {
+	t := &c.tlb
+	if c.AS == nil || t.as != c.AS || t.gen != c.AS.Gen() {
+		return nil
+	}
+	for i := range t.ents {
+		e := &t.ents[i]
+		if e.tag == tlbNoTag {
+			continue
+		}
+		if e.obj != nil && e.obj.ObjRev() != e.rev {
+			// Stale by object revision: legal, revalidated away on hit.
+			continue
+		}
+		f, ok := c.AS.PageFrame(e.tag)
+		if e.frame == nil && e.prot == 0 {
+			// Negative entry: the address space refused this page at fill
+			// time and the generation has not moved since.
+			if ok {
+				return fmt.Errorf("vcpu: negative TLB entry for %#x but PageFrame now succeeds", e.tag)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("vcpu: TLB entry for %#x but PageFrame now refuses it", e.tag)
+		}
+		if f.Prot != e.prot || f.Writable != e.writable {
+			return fmt.Errorf("vcpu: TLB entry for %#x has prot=%v writable=%v, PageFrame says prot=%v writable=%v",
+				e.tag, e.prot, e.writable, f.Prot, f.Writable)
+		}
+		if e.obj == nil {
+			// Private or zero-page frames alias one live slice; an entry
+			// pointing anywhere else serves stale data.
+			if len(e.frame) != len(f.Data) || (len(f.Data) > 0 && &e.frame[0] != &f.Data[0]) {
+				return fmt.Errorf("vcpu: TLB entry for %#x aliases the wrong frame", e.tag)
+			}
+		} else if f.Obj != e.obj || f.Rev != e.rev {
+			return fmt.Errorf("vcpu: TLB entry for %#x disagrees with PageFrame on object/revision", e.tag)
+		}
+	}
+	return nil
+}

@@ -85,6 +85,8 @@ var (
 	ErrBadFD     = errors.New("bad file descriptor")                // EBADF
 	ErrAgain     = errors.New("resource temporarily unavailable")   // EAGAIN
 	ErrNoIoctl   = errors.New("inappropriate ioctl for device")     // ENOTTY
+	ErrIO        = errors.New("I/O error")                          // EIO
+	ErrNoSpace   = errors.New("no space left on device")            // ENOSPC
 	ErrStale     = errors.New("stale /proc file descriptor")        // the set-id invalidation
 	ErrWouldDead = errors.New("poll would deadlock: nothing runnable")
 )
