@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,23 @@ fault-smoke:
 bench-json-pr5:
 	$(GO) run ./cmd/benchjson -label after -o BENCH_PR5.json
 
+# workload-smoke runs every macro scenario at smoke size plus the seeded
+# determinism replay: same seed, bit-identical trace and process table.
+workload-smoke:
+	$(GO) test -count=1 -run 'TestWorkload' ./internal/workload/
+
+# bench-json-pr6 records the macro-workload suite as BENCH_PR6.json: the
+# latency percentiles of every scenario, with the /proc scan at a
+# 1000-process population in both modes — batched PIOCSNAP ("batched") and
+# the per-pid protocol ("legacy") — plus the micro benchmark set under the
+# same "after" label for continuity with BENCH_PR3/BENCH_PR5.
+bench-json-pr6:
+	$(GO) run ./cmd/benchjson -label after -o BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -workload . -wseed 1 -label after -o BENCH_PR6.json
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
-# the fault-matrix smoke, and the benchmark smoke runs.
-verify: build test race vet fault-smoke bench-smoke bench-json-smoke
+# the fault-matrix smoke, the workload smoke, and the benchmark smoke runs.
+verify: build test race vet fault-smoke workload-smoke bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

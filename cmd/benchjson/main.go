@@ -4,6 +4,12 @@
 // set into the output file, merging with whatever labels are already there —
 // run once with REPRO_NOTLB=1 under the label "before" and once normally
 // under "after" to capture a fast-path comparison in a single file.
+//
+// With -workload it runs the macro scenarios from internal/workload instead
+// of go test micro benchmarks: each scenario's latency percentiles land in
+// the result's extra fields (p50_ns, p95_ns, p99_ns, max_ns, ops_per_s), and
+// the /proc scan runs twice — once batched through PIOCSNAP, once with the
+// per-pid -legacy protocol — so the file captures the comparison directly.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 // defaultBench selects the benchmarks that characterize the vCPU memory
@@ -74,30 +82,104 @@ func parse(out []byte) map[string]Result {
 // names; results are keyed without it so labels compare across machines.
 var procsSuffix = regexp.MustCompile(`-\d+$`)
 
+// toResult flattens one scenario report into the benchjson shape: the mean
+// is the headline ns/op, the distribution rides in the extra fields.
+func toResult(res workload.Result) Result {
+	return Result{
+		Iterations: int64(res.Ops),
+		NsPerOp:    res.MeanNs,
+		Extra: map[string]float64{
+			"p50_ns":    res.P50Ns,
+			"p95_ns":    res.P95Ns,
+			"p99_ns":    res.P99Ns,
+			"max_ns":    res.MaxNs,
+			"ops_per_s": res.OpsPerSec,
+		},
+	}
+}
+
+// runWorkloads executes every scenario matching the pattern and returns the
+// keyed results. The /proc scan runs in both modes under distinct keys; the
+// batched-vs-legacy margin is the whole point of recording it.
+func runWorkloads(pattern string, cfg workload.Config) (map[string]Result, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bad -workload regex %q: %v", pattern, err)
+	}
+	results := make(map[string]Result)
+	for _, name := range workload.Names() {
+		if !re.MatchString(name) {
+			continue
+		}
+		if name == "proc_scan" {
+			for _, mode := range []string{"batched", "legacy"} {
+				mcfg := cfg
+				mcfg.Legacy = mode == "legacy"
+				res, _, err := workload.Run(name, mcfg)
+				if err != nil {
+					return nil, err
+				}
+				key := "Workload/" + name + "/" + mode
+				results[key] = toResult(res)
+				fmt.Printf("%-40s %6d ops  mean %12.0f ns  p50 %12.0f  p95 %12.0f  p99 %12.0f  %8.1f ops/s\n",
+					key, res.Ops, res.MeanNs, res.P50Ns, res.P95Ns, res.P99Ns, res.OpsPerSec)
+			}
+			continue
+		}
+		res, _, err := workload.Run(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		key := "Workload/" + name
+		results[key] = toResult(res)
+		fmt.Printf("%-40s %6d ops  mean %12.0f ns  p50 %12.0f  p95 %12.0f  p99 %12.0f  %8.1f ops/s\n",
+			key, res.Ops, res.MeanNs, res.P50Ns, res.P95Ns, res.P99Ns, res.OpsPerSec)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no scenario matches %q (have %v)", pattern, workload.Names())
+	}
+	return results, nil
+}
+
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	label := flag.String("label", "after", "result-set label in the output file")
 	out := flag.String("o", "BENCH_PR3.json", "output JSON file; empty writes to stdout only")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	wl := flag.String("workload", "", "run macro workload scenarios matching this regex instead of micro benchmarks")
+	wops := flag.Int("wops", 0, "workload: operations per scenario (0 = scenario default)")
+	wprocs := flag.Int("wprocs", 0, "workload: population size (0 = scenario default)")
+	wseed := flag.Int64("wseed", 1, "workload: scenario seed")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-		"-benchmem", "-benchtime", *benchtime, *pkg)
-	cmd.Env = os.Environ()
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.Bytes())
-		os.Exit(1)
-	}
-	os.Stdout.Write(buf.Bytes())
-
-	results := parse(buf.Bytes())
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
-		os.Exit(1)
+	var results map[string]Result
+	if *wl != "" {
+		var err error
+		results, err = runWorkloads(*wl, workload.Config{
+			Seed: *wseed, Ops: *wops, Procs: *wprocs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime, *pkg)
+		cmd.Env = os.Environ()
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.Bytes())
+			os.Exit(1)
+		}
+		os.Stdout.Write(buf.Bytes())
+		results = parse(buf.Bytes())
+		if len(results) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+			os.Exit(1)
+		}
 	}
 	if *out == "" {
 		return
@@ -109,6 +191,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not benchjson output: %v\n", *out, err)
 			os.Exit(1)
 		}
+	}
+	if existing, ok := all[*label]; ok {
+		// Merging keeps one label's micro and workload runs in one set.
+		for k, v := range results {
+			existing[k] = v
+		}
+		results = existing
 	}
 	all[*label] = results
 	enc, err := json.MarshalIndent(all, "", "  ")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -50,7 +51,15 @@ endbss:	.space 4
 `
 
 func main() {
+	fleet := flag.Int("fleet", 0, "spawn N churn processes and print one usage line per process")
+	legacy := flag.Bool("legacy", false, "with -fleet: per-pid PIOCUSAGE sweep instead of PIOCSNAP")
+	flag.Parse()
+
 	s := repro.NewSystem()
+	if *fleet > 0 {
+		fleetReport(s, *fleet, *legacy)
+		return
+	}
 	p, err := s.SpawnProg("churn", workload, types.UserCred(100, 10))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prusage:", err)
@@ -76,4 +85,25 @@ func main() {
 	fmt.Printf("\ntotals: %d syscalls, %d minor faults, %d cow faults, %d voluntary + %d involuntary switches\n",
 		final.Usage.Syscalls, final.Usage.MinorFaults, final.Usage.COWFaults,
 		final.Usage.VolCtx, final.Usage.InvolCtx)
+}
+
+// fleetReport spawns a fleet of churners, lets them run a while, and prints
+// the whole-system usage table — batched through PIOCSNAP unless -legacy
+// asked for the per-pid sweep.
+func fleetReport(s *repro.System, n int, legacy bool) {
+	for i := 0; i < n; i++ {
+		if _, err := s.SpawnProg(fmt.Sprintf("churn%d", i), workload, types.UserCred(100+i%8, 10)); err != nil {
+			fmt.Fprintln(os.Stderr, "prusage:", err)
+			os.Exit(1)
+		}
+	}
+	s.Run(120)
+	sweep := tools.FleetUsage
+	if legacy {
+		sweep = tools.FleetUsageLegacy
+	}
+	if err := sweep(s.Client(types.RootCred()), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prusage:", err)
+		os.Exit(1)
+	}
 }

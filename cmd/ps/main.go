@@ -1,10 +1,14 @@
-// Command ps is the SVR4 ps(1) reimplemented on /proc: read the /proc
-// directory, open each process read-only, issue PIOCPSINFO, print. It runs
-// with super-user privilege, so the opens always succeed and no interference
-// is created for controlling and controlled processes.
+// Command ps is the SVR4 ps(1) reimplemented on /proc. By default it takes
+// one batched PIOCSNAP on the /proc directory — the whole listing is a true
+// snapshot of the system; with -legacy it runs the paper's per-pid protocol
+// instead: read the /proc directory, open each process read-only, issue
+// PIOCPSINFO, print. It runs with super-user privilege, so the opens always
+// succeed and no interference is created for controlling and controlled
+// processes.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,6 +18,9 @@ import (
 )
 
 func main() {
+	legacy := flag.Bool("legacy", false, "use the per-pid open+PIOCPSINFO sweep instead of PIOCSNAP")
+	flag.Parse()
+
 	s := repro.NewSystem()
 	// A demonstrative population: runners, sleepers, a stopped process
 	// and a zombie.
@@ -39,7 +46,11 @@ parent:	jmp parent
 	}
 	s.Run(10)
 
-	if err := tools.PS(s.Client(types.RootCred()), os.Stdout); err != nil {
+	ps := tools.PS
+	if *legacy {
+		ps = tools.PSLegacy
+	}
+	if err := ps(s.Client(types.RootCred()), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ps:", err)
 		os.Exit(1)
 	}

@@ -383,6 +383,44 @@ func TestFaultMatrixProcfsIoctl(t *testing.T) {
 	assertInvariants(t, s)
 }
 
+// TestFaultMatrixProcfsSnap arms the batched snapshot's scratch allocation:
+// PIOCSNAP on the /proc root surfaces EAGAIN, the caller retries, the retry
+// succeeds with a full record set. The site carries no process context, so
+// the plan is unscoped.
+func TestFaultMatrixProcfsSnap(t *testing.T) {
+	s, p := faultBoot(t, `
+	movi r0, SYS_pause
+	syscall
+`+exitOK)
+	s.Run(2)
+	armFaults(t, s, "procfs.snap nth=1")
+	f, err := s.Client(types.RootCred()).Open("/proc", vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var sn procfs.PrSnap
+	if err := f.Ioctl(procfs.PIOCSNAP, &sn); err != vfs.ErrAgain {
+		t.Fatalf("PIOCSNAP with procfs.snap armed: %v, want EAGAIN", err)
+	}
+	if len(sn.Procs) != 0 {
+		t.Fatalf("failed snapshot left %d records behind", len(sn.Procs))
+	}
+	// The plan is spent; the retry fills the records.
+	if err := f.Ioctl(procfs.PIOCSNAP, &sn); err != nil {
+		t.Fatalf("PIOCSNAP after spent plan: %v", err)
+	}
+	found := false
+	for _, rec := range sn.Procs {
+		found = found || rec.Info.Pid == p.Pid
+	}
+	if !found {
+		t.Fatal("victim missing from the retried snapshot")
+	}
+	assertInjected(t, "procfs.snap")
+	assertInvariants(t, s)
+}
+
 // ioProg opens, reads, creates and writes; every error is shrugged off and
 // the program exits — a file-system workload for the storm.
 const ioProg = `
@@ -473,6 +511,13 @@ func TestFaultStorm(t *testing.T) {
 		}
 		armFaults(t, s, plan)
 
+		// An observer sweeps the table with PIOCSNAP while the storm rages:
+		// the batched path must fail only with EAGAIN (its own site) and
+		// never trip over mid-reap carcasses.
+		snapF, err := s.Client(types.RootCred()).Open("/proc", vfs.ORead)
+		if err != nil {
+			t.Fatal(err)
+		}
 		alive := func() bool {
 			for _, p := range procs {
 				if p.Alive() {
@@ -482,13 +527,22 @@ func TestFaultStorm(t *testing.T) {
 			return false
 		}
 		last := uint64(0)
+		var sn procfs.PrSnap
 		for steps := 0; alive() && steps < 2_000_000; steps++ {
 			s.Step()
+			if steps%64 == 0 {
+				switch err := snapF.Ioctl(procfs.PIOCSNAP, &sn); err {
+				case nil, vfs.ErrAgain:
+				default:
+					t.Fatalf("round %d step %d: PIOCSNAP under storm: %v", round, steps, err)
+				}
+			}
 			if inj := fault.Default.TotalInjected(); inj != last {
 				last = inj
 				assertInvariants(t, s)
 			}
 		}
+		snapF.Close()
 		if last == 0 {
 			t.Fatalf("round %d: the storm injected nothing — the test proved nothing", round)
 		}

@@ -42,11 +42,12 @@ type Kernel struct {
 	Quantum  int
 	NoTLB    bool
 
-	clock   int64
-	procs   map[int]*Proc
-	order   []*Proc // scheduling and readdir order
-	nextPid int
-	rrIndex int // round-robin position
+	clock    int64
+	procs    map[int]*Proc
+	order    []*Proc // scheduling and readdir order
+	nextPid  int
+	rrIndex  int    // round-robin position
+	tableRev uint64 // bumped on every process-table change (fork, exit, reap)
 
 	initProc *Proc
 	clockQ   waitq // timed sleeps (sleep(2)) block here
@@ -108,6 +109,11 @@ func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
 // Procs returns all processes in creation order (including zombies).
 func (k *Kernel) Procs() []*Proc { return append([]*Proc(nil), k.order...) }
 
+// TableRev is the process-table revision: it advances whenever the set of
+// processes (or their liveness) changes — fork, exit, reap. A caller holding
+// a table snapshot compares revisions to detect churn since it was taken.
+func (k *Kernel) TableRev() uint64 { return k.tableRev }
+
 // InitProc returns process 1, if it has been spawned.
 func (k *Kernel) InitProc() *Proc { return k.initProc }
 
@@ -127,6 +133,7 @@ func (k *Kernel) addProc(p *Proc) {
 	}
 	k.procs[p.Pid] = p
 	k.order = append(k.order, p)
+	k.tableRev++
 	if p.Pid == 1 {
 		k.initProc = p
 	}
@@ -134,6 +141,7 @@ func (k *Kernel) addProc(p *Proc) {
 
 // removeProc drops a fully-reaped process from the tables.
 func (k *Kernel) removeProc(p *Proc) {
+	k.tableRev++
 	delete(k.procs, p.Pid)
 	for i, q := range k.order {
 		if q == p {

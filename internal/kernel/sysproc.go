@@ -26,6 +26,7 @@ func (k *Kernel) exitProc(p *Proc, status int) {
 	}
 	p.state = PZombie
 	p.ExitStatus = status
+	k.tableRev++ // liveness changed: snapshots taken before this are stale
 	for _, l := range p.LWPs {
 		l.state = LZombie
 		l.procClaim, l.jobClaim, l.ptraceClaim = false, false, false

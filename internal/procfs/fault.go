@@ -6,3 +6,8 @@ import "repro/internal/fault"
 // (status snapshots, map tables, watchpoint lists). Hits are attributed to
 // the target process's pid.
 var siteFaultIoctl = fault.Register("procfs.ioctl")
+
+// siteFaultSnap guards the batched snapshot's record-table allocation
+// (PIOCSNAP). Hits carry no process context: the caller is an external
+// controlling program, not a simulated process.
+var siteFaultSnap = fault.Register("procfs.snap")

@@ -56,6 +56,12 @@ const (
 	PIOCCWATCH // clear watchpoints (arg *uint32 for one address; nil for all)
 	PIOCGWATCH // get the watchpoints (arg *[]PrWatch)
 	PIOCPGD    // page data: per-mapping private page counts (arg *[]PageData)
+
+	// PIOCSNAP is issued on the /proc directory itself, not a process file:
+	// one open plus one ioctl returns status/usage records for every visible
+	// process, with a table-revision token so a retry detects churn
+	// (arg *PrSnap).
+	PIOCSNAP
 )
 
 // PrMap is one entry of the PIOCMAP result, the prmap_t analogue: a virtual

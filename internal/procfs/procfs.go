@@ -59,12 +59,14 @@ func (r *rootVnode) VAttr() (vfs.Attr, error) {
 	}, nil
 }
 
-// VOpen implements vfs.Vnode; the directory itself carries no handle state.
+// VOpen implements vfs.Vnode. The directory handle remembers the opening
+// credentials: PIOCSNAP, the batched snapshot, is issued on it and filters
+// the table by the same rule the per-process opens enforce.
 func (r *rootVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 	if flags&vfs.OWrite != 0 {
 		return nil, vfs.ErrIsDir
 	}
-	return nopHandle{}, nil
+	return &rootHandle{fs: r.fs, cred: c}, nil
 }
 
 // VLookup implements vfs.Dir: prlookup searches the process table for the
@@ -93,13 +95,6 @@ func (r *rootVnode) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 	}
 	return out, nil
 }
-
-type nopHandle struct{}
-
-func (nopHandle) HRead(p []byte, off int64) (int, error)  { return 0, vfs.ErrIsDir }
-func (nopHandle) HWrite(p []byte, off int64) (int, error) { return 0, vfs.ErrIsDir }
-func (nopHandle) HIoctl(cmd int, arg interface{}) error   { return vfs.ErrNoIoctl }
-func (nopHandle) HClose() error                           { return nil }
 
 // ProcVnode is the vnode of one process file.
 type ProcVnode struct {

@@ -85,6 +85,8 @@ func (r *rootDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 		return &rootTraceVnode{fs: r.fs, name: name}, nil
 	case RootFaults:
 		return &rootFaultsVnode{fs: r.fs}, nil
+	case RootSnapshot:
+		return &rootSnapVnode{fs: r.fs}, nil
 	}
 	pid, err := strconv.Atoi(name)
 	if err != nil || pid < 0 {
@@ -109,6 +111,11 @@ func (r *rootDir) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 		vn := &rootFaultsVnode{fs: r.fs}
 		attr, _ := vn.VAttr()
 		out = append(out, vfs.Dirent{Name: RootFaults, Attr: attr})
+	}
+	{
+		vn := &rootSnapVnode{fs: r.fs}
+		attr, _ := vn.VAttr()
+		out = append(out, vfs.Dirent{Name: RootSnapshot, Attr: attr})
 	}
 	for _, p := range r.fs.K.Procs() {
 		d := &pidDir{fs: r.fs, p: p}

@@ -193,9 +193,7 @@ func DecodeStatus(b []byte) (kernel.ProcStatus, error) {
 	return st, w.err
 }
 
-// EncodePSInfo serializes a PSInfo for the psinfo file.
-func EncodePSInfo(info kernel.PSInfo) []byte {
-	w := &wire{}
+func (w *wire) putPSInfo(info kernel.PSInfo) {
 	w.putI32(int32(info.Pid))
 	w.putI32(int32(info.PPid))
 	w.putI32(int32(info.Pgrp))
@@ -210,12 +208,9 @@ func EncodePSInfo(info kernel.PSInfo) []byte {
 	w.putI32(int32(info.NLWP))
 	w.putStr(info.Comm)
 	w.putStr(info.Args)
-	return w.b
 }
 
-// DecodePSInfo parses the psinfo file contents.
-func DecodePSInfo(b []byte) (kernel.PSInfo, error) {
-	w := &wire{b: b}
+func (w *wire) psInfo() kernel.PSInfo {
 	var info kernel.PSInfo
 	info.Pid = int(w.i32())
 	info.PPid = int(w.i32())
@@ -231,6 +226,20 @@ func DecodePSInfo(b []byte) (kernel.PSInfo, error) {
 	info.NLWP = int(w.i32())
 	info.Comm = w.str()
 	info.Args = w.str()
+	return info
+}
+
+// EncodePSInfo serializes a PSInfo for the psinfo file.
+func EncodePSInfo(info kernel.PSInfo) []byte {
+	w := &wire{}
+	w.putPSInfo(info)
+	return w.b
+}
+
+// DecodePSInfo parses the psinfo file contents.
+func DecodePSInfo(b []byte) (kernel.PSInfo, error) {
+	w := &wire{b: b}
+	info := w.psInfo()
 	return info, w.err
 }
 
@@ -326,12 +335,8 @@ func DecodeCred(b []byte) (types.Cred, error) {
 // EncodeUsage serializes resource usage for the usage file.
 func EncodeUsage(u kernel.Usage, minor, cow, watch, grow int64) []byte {
 	w := &wire{}
-	for _, v := range []int64{
-		u.UserTicks, u.SysTicks, u.Syscalls, u.Faults, u.Signals,
-		u.ForkedKids, u.VolCtx, u.InvolCtx, minor, cow, watch, grow,
-	} {
-		w.putU64(uint64(v))
-	}
+	w.putUsage(UsageRecord{Usage: u, MinorFaults: minor, COWFaults: cow,
+		WatchRecover: watch, StackGrows: grow})
 	return w.b
 }
 
@@ -344,9 +349,17 @@ type UsageRecord struct {
 	StackGrows   int64
 }
 
-// DecodeUsage parses the usage file contents.
-func DecodeUsage(b []byte) (UsageRecord, error) {
-	w := &wire{b: b}
+func (w *wire) putUsage(u UsageRecord) {
+	for _, v := range []int64{
+		u.UserTicks, u.SysTicks, u.Syscalls, u.Faults, u.Signals,
+		u.ForkedKids, u.VolCtx, u.InvolCtx,
+		u.MinorFaults, u.COWFaults, u.WatchRecover, u.StackGrows,
+	} {
+		w.putU64(uint64(v))
+	}
+}
+
+func (w *wire) usage() UsageRecord {
 	var u UsageRecord
 	fields := []*int64{
 		&u.UserTicks, &u.SysTicks, &u.Syscalls, &u.Faults, &u.Signals,
@@ -356,5 +369,57 @@ func DecodeUsage(b []byte) (UsageRecord, error) {
 	for _, f := range fields {
 		*f = int64(w.u64())
 	}
+	return u
+}
+
+// DecodeUsage parses the usage file contents.
+func DecodeUsage(b []byte) (UsageRecord, error) {
+	w := &wire{b: b}
+	u := w.usage()
 	return u, w.err
+}
+
+// SnapRec is one process of an encoded table snapshot: the psinfo record
+// plus (optionally meaningful) resource usage.
+type SnapRec struct {
+	Info  kernel.PSInfo
+	Usage UsageRecord
+}
+
+// EncodeSnap serializes a whole-table snapshot — the revision token, the
+// churn flag, and one record per process — for the snapshot file and the
+// remote PIOCSNAP result.
+func EncodeSnap(rev uint64, churned bool, recs []SnapRec) []byte {
+	w := &wire{}
+	w.putU64(rev)
+	if churned {
+		w.putU32(1)
+	} else {
+		w.putU32(0)
+	}
+	w.putU32(uint32(len(recs)))
+	for _, r := range recs {
+		w.putPSInfo(r.Info)
+		w.putUsage(r.Usage)
+	}
+	return w.b
+}
+
+// DecodeSnap parses an encoded table snapshot.
+func DecodeSnap(b []byte) (rev uint64, churned bool, recs []SnapRec, err error) {
+	w := &wire{b: b}
+	rev = w.u64()
+	churned = w.u32() != 0
+	n := int(w.u32())
+	if w.err != nil {
+		return 0, false, nil, w.err
+	}
+	if n < 0 || n > 1<<20 {
+		return 0, false, nil, errors.New("procfs2: unreasonable snapshot size")
+	}
+	recs = make([]SnapRec, 0, n)
+	for i := 0; i < n && w.err == nil; i++ {
+		recs = append(recs, SnapRec{Info: w.psInfo(), Usage: w.usage()})
+	}
+	return rev, churned, recs, w.err
 }

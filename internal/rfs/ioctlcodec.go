@@ -480,6 +480,86 @@ var watchInCodec = ioctlCodec{
 	decodeResult: nothingOut,
 }
 
+// snapCodec carries PIOCSNAP: the filter and prior revision travel out, the
+// whole record batch travels back in one frame — the round trip the batched
+// ioctl exists to save multiplied across the table.
+var snapCodec = ioctlCodec{
+	encodeArg: func(arg interface{}) ([]byte, error) {
+		sn, ok := arg.(*procfs.PrSnap)
+		if !ok || sn == nil {
+			return nil, errBadArg
+		}
+		m := &buf{}
+		if sn.WithUsage {
+			m.putU32(1)
+		} else {
+			m.putU32(0)
+		}
+		m.putU64(sn.Rev)
+		m.putU32(uint32(len(sn.Pids)))
+		for _, pid := range sn.Pids {
+			m.putU32(uint32(pid))
+		}
+		return m.b, nil
+	},
+	decodeArg: func(b []byte) (interface{}, error) {
+		m := &buf{b: b}
+		sn := &procfs.PrSnap{WithUsage: m.u32() != 0, Rev: m.u64()}
+		n := int(m.u32())
+		if m.err != nil {
+			return nil, m.err
+		}
+		if n < 0 || n > 1<<20 {
+			return nil, errBadArg
+		}
+		if n > 0 {
+			sn.Pids = make([]int, 0, n)
+			for i := 0; i < n && m.err == nil; i++ {
+				sn.Pids = append(sn.Pids, int(int32(m.u32())))
+			}
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		return sn, nil
+	},
+	encodeResult: func(arg interface{}) ([]byte, error) {
+		sn, ok := arg.(*procfs.PrSnap)
+		if !ok || sn == nil {
+			return nil, errBadArg
+		}
+		recs := make([]procfs2.SnapRec, len(sn.Procs))
+		for i, r := range sn.Procs {
+			recs[i] = procfs2.SnapRec{Info: r.Info, Usage: procfs2.UsageRecord{
+				Usage:       r.Usage.Usage,
+				MinorFaults: r.Usage.MinorFaults, COWFaults: r.Usage.COWFaults,
+				WatchRecover: r.Usage.WatchRecover, StackGrows: r.Usage.StackGrows,
+			}}
+		}
+		return procfs2.EncodeSnap(sn.Rev, sn.Churned, recs), nil
+	},
+	decodeResult: func(b []byte, arg interface{}) error {
+		sn, ok := arg.(*procfs.PrSnap)
+		if !ok || sn == nil {
+			return errBadArg
+		}
+		rev, churned, recs, err := procfs2.DecodeSnap(b)
+		if err != nil {
+			return err
+		}
+		sn.Rev, sn.Churned = rev, churned
+		sn.Procs = make([]procfs.PrSnapRec, len(recs))
+		for i, r := range recs {
+			sn.Procs[i] = procfs.PrSnapRec{Info: r.Info, Usage: procfs.PrUsage{
+				Usage:       r.Usage.Usage,
+				MinorFaults: r.Usage.MinorFaults, COWFaults: r.Usage.COWFaults,
+				WatchRecover: r.Usage.WatchRecover, StackGrows: r.Usage.StackGrows,
+			}}
+		}
+		return nil
+	},
+}
+
 // ioctlCodecs is the registry: every remotable /proc ioctl, each with its
 // bespoke marshalling. Commands without codecs (the deprecated pointer-
 // returning PIOCGETPR, the descriptor-returning PIOCOPENM) cannot cross the
@@ -515,4 +595,5 @@ var ioctlCodecs = map[int]ioctlCodec{
 	procfs.PIOCUSAGE:  usageCodec,
 	procfs.PIOCSWATCH: watchInCodec,
 	procfs.PIOCCWATCH: noArgCodec,
+	procfs.PIOCSNAP:   snapCodec,
 }

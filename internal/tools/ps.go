@@ -16,33 +16,79 @@ import (
 	"repro/internal/vfs"
 )
 
-// PS implements the SVR4 ps(1) logic: read the /proc directory, open each
-// process file read-only, issue the PIOCPSINFO request, close the file, and
-// print the result. Because all the information for a process is obtained in
-// a single operation, each line is a true snapshot of the process, even
-// though the complete listing is not a true snapshot of the whole system.
-func PS(cl *vfs.Client, w io.Writer) error {
+// ProcClient is the name-space access the /proc sweeps need: Open and
+// ReadDir. Both *vfs.Client and *rfs.Client satisfy it, so every tool here
+// runs unmodified against a remote /proc.
+type ProcClient interface {
+	Open(path string, flags int) (*vfs.File, error)
+	ReadDir(path string) ([]vfs.Dirent, error)
+}
+
+// Snapshot takes one batched PIOCSNAP through a fresh open of the /proc
+// directory: the one-open-one-ioctl protocol the per-pid sweep is measured
+// against. The caller seeds sn with the filter, usage flag and any prior
+// revision token.
+func Snapshot(cl ProcClient, sn *procfs.PrSnap) error {
+	f, err := cl.Open("/proc", vfs.ORead)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Ioctl(procfs.PIOCSNAP, sn)
+}
+
+func psHeader(w io.Writer) {
+	fmt.Fprintf(w, "%5s %5s %4s %4s %2s %8s %6s %s\n",
+		"PID", "PPID", "UID", "GID", "S", "VSZ", "TIME", "COMD")
+}
+
+func psLine(w io.Writer, info kernel.PSInfo) {
+	fmt.Fprintf(w, "%5d %5d %4d %4d %2c %8d %6d %s\n",
+		info.Pid, info.PPid, info.UID, info.GID, info.State,
+		info.VSize, info.Time, info.Comm)
+}
+
+// PS implements ps(1) over the batched snapshot: one open of the /proc
+// directory and one PIOCSNAP return every line's worth of data, and the
+// whole listing — not just each line — is a true snapshot of the system.
+// Output is line-identical to PSLegacy on a static process table.
+func PS(cl ProcClient, w io.Writer) error {
+	var sn procfs.PrSnap
+	if err := Snapshot(cl, &sn); err != nil {
+		return err
+	}
+	psHeader(w)
+	for _, rec := range sn.Procs {
+		psLine(w, rec.Info)
+	}
+	return nil
+}
+
+// PSLegacy implements the SVR4 ps(1) logic the paper describes: read the
+// /proc directory, open each process file read-only, issue the PIOCPSINFO
+// request, close the file, and print the result. Because all the
+// information for a process is obtained in a single operation, each line is
+// a true snapshot of the process, even though the complete listing is not a
+// true snapshot of the whole system.
+func PSLegacy(cl ProcClient, w io.Writer) error {
 	ents, err := cl.ReadDir("/proc")
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%5s %5s %4s %4s %2s %8s %6s %s\n",
-		"PID", "PPID", "UID", "GID", "S", "VSZ", "TIME", "COMD")
+	psHeader(w)
 	for _, e := range ents {
 		info, err := PSInfoOf(cl, e.Name)
 		if err != nil {
 			// The process may have exited between readdir and open.
 			continue
 		}
-		fmt.Fprintf(w, "%5d %5d %4d %4d %2c %8d %6d %s\n",
-			info.Pid, info.PPid, info.UID, info.GID, info.State,
-			info.VSize, info.Time, info.Comm)
+		psLine(w, info)
 	}
 	return nil
 }
 
 // PSInfoOf fetches one process's PIOCPSINFO by directory entry name.
-func PSInfoOf(cl *vfs.Client, name string) (kernel.PSInfo, error) {
+func PSInfoOf(cl ProcClient, name string) (kernel.PSInfo, error) {
 	f, err := cl.Open("/proc/"+name, vfs.ORead)
 	if err != nil {
 		return kernel.PSInfo{}, err
@@ -56,7 +102,7 @@ func PSInfoOf(cl *vfs.Client, name string) (kernel.PSInfo, error) {
 }
 
 // LsProc renders "ls -l /proc" in the style of the paper's Figure 1.
-func LsProc(cl *vfs.Client, w io.Writer, names func(uid, gid int) (string, string)) error {
+func LsProc(cl ProcClient, w io.Writer, names func(uid, gid int) (string, string)) error {
 	if names == nil {
 		names = func(uid, gid int) (string, string) {
 			return strconv.Itoa(uid), strconv.Itoa(gid)
@@ -83,7 +129,7 @@ func fmtTime(ticks int64) string {
 
 // PrMap renders the memory map of a process in the style of the paper's
 // Figure 2, using PIOCMAP.
-func PrMap(cl *vfs.Client, pid int, w io.Writer) error {
+func PrMap(cl ProcClient, pid int, w io.Writer) error {
 	f, err := cl.Open("/proc/"+procfs.PidName(pid), vfs.ORead)
 	if err != nil {
 		return err

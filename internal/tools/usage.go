@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/kernel"
 	"repro/internal/procfs"
 	"repro/internal/vfs"
 )
@@ -37,6 +38,65 @@ func (s UsageSample) ModifiedPages() int {
 		n += pd.PrivatePages
 	}
 	return n
+}
+
+func usageHeader(w io.Writer) {
+	fmt.Fprintf(w, "%5s %-12s %6s %6s %8s %6s %6s %5s %5s %5s\n",
+		"PID", "COMD", "UTIME", "STIME", "SYSCALLS", "FAULTS", "MINFLT", "COW", "VCTX", "ICTX")
+}
+
+func usageLine(w io.Writer, info kernel.PSInfo, u procfs.PrUsage) {
+	fmt.Fprintf(w, "%5d %-12s %6d %6d %8d %6d %6d %5d %5d %5d\n",
+		info.Pid, info.Comm, u.UserTicks, u.SysTicks, u.Syscalls,
+		u.Faults, u.MinorFaults, u.COWFaults, u.VolCtx, u.InvolCtx)
+}
+
+// FleetUsage prints one resource-usage line per live process using the
+// batched snapshot: one open of /proc, one PIOCSNAP with usage records.
+// Output is line-identical to FleetUsageLegacy on a static process table.
+func FleetUsage(cl ProcClient, w io.Writer) error {
+	sn := procfs.PrSnap{WithUsage: true}
+	if err := Snapshot(cl, &sn); err != nil {
+		return err
+	}
+	usageHeader(w)
+	for _, rec := range sn.Procs {
+		if rec.Info.State == 'Z' {
+			// The per-pid path skips zombies: PIOCUSAGE fails once the
+			// process has exited.
+			continue
+		}
+		usageLine(w, rec.Info, rec.Usage)
+	}
+	return nil
+}
+
+// FleetUsageLegacy is the per-pid sweep: readdir /proc, then one open and
+// two ioctls (PIOCPSINFO, PIOCUSAGE) per process.
+func FleetUsageLegacy(cl ProcClient, w io.Writer) error {
+	ents, err := cl.ReadDir("/proc")
+	if err != nil {
+		return err
+	}
+	usageHeader(w)
+	for _, e := range ents {
+		f, err := cl.Open("/proc/"+e.Name, vfs.ORead)
+		if err != nil {
+			continue // exited between readdir and open
+		}
+		var info kernel.PSInfo
+		var u procfs.PrUsage
+		err = f.Ioctl(procfs.PIOCPSINFO, &info)
+		if err == nil {
+			err = f.Ioctl(procfs.PIOCUSAGE, &u)
+		}
+		f.Close()
+		if err != nil {
+			continue // became a zombie under the open handle
+		}
+		usageLine(w, info, u)
+	}
+	return nil
 }
 
 // UsageMonitor samples a process at intervals, driving the simulation

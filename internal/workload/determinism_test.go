@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/tools"
+	"repro/internal/types"
+)
+
+// slurp reads one /procx file under root credentials.
+func slurp(t *testing.T, s *repro.System, path string) []byte {
+	t.Helper()
+	b, err := s.Client(types.RootCred()).ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return b
+}
+
+// psTable renders the final process table through the batched snapshot.
+func psTable(t *testing.T, s *repro.System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tools.PS(s.Client(types.RootCred()), &buf); err != nil {
+		t.Fatalf("ps: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkloadDeterminism replays every scenario twice with the same seed
+// and demands a bit-identical simulation: the kernel-wide ktrace stream, the
+// trace counters page, and the final process table must all match. The
+// scenarios advertise seed-replayable runs; the trace is the oracle.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := smokeConfig(name)
+			cfg.Seed = 42
+			// Modest capacity: EnableKTraceAll gives every process a ring of
+			// this size, and the storm scenarios create hundreds of them.
+			cfg.TraceCap = 1 << 16
+			run := func() (trace, stats, table []byte) {
+				_, s, err := Run(name, cfg)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return slurp(t, s, "/procx/trace"), slurp(t, s, "/procx/ktrace"), psTable(t, s)
+			}
+			trace1, stats1, table1 := run()
+			trace2, stats2, table2 := run()
+			if len(trace1) == 0 {
+				t.Fatal("empty trace stream: scenario ran nothing")
+			}
+			if !bytes.Equal(trace1, trace2) {
+				t.Errorf("trace streams differ: %d vs %d bytes", len(trace1), len(trace2))
+			}
+			if !bytes.Equal(stats1, stats2) {
+				t.Errorf("trace counters differ:\n%s\nvs\n%s", stats1, stats2)
+			}
+			if !bytes.Equal(table1, table2) {
+				t.Errorf("final process tables differ:\n%s\nvs\n%s", table1, table2)
+			}
+		})
+	}
+}
+
+// TestWorkloadSeedSensitivity is the converse check: two different seeds
+// must not replay the same simulation, or the "seedable" claim is vacuous.
+// fork_storm picks family sizes and credentials from the stream, so its
+// trace diverges immediately.
+func TestWorkloadSeedSensitivity(t *testing.T) {
+	run := func(seed int64) []byte {
+		cfg := smokeConfig("fork_storm")
+		cfg.Seed = seed
+		cfg.TraceCap = 1 << 16
+		_, s, err := Run("fork_storm", cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return slurp(t, s, "/procx/trace")
+	}
+	if bytes.Equal(run(1), run(2)) {
+		t.Fatal("different seeds replayed an identical trace stream")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/procfs"
+	"repro/internal/rfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+func main() {
+	conn, err := net.Dial("tcp", "127.0.0.1:7911")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cl := rfs.NewClient(&rfs.ConnTransport{Conn: conn}, types.RootCred())
+	f, err := cl.Open("/proc", vfs.ORead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open /proc:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sn := procfs.PrSnap{WithUsage: true}
+	if err := f.Ioctl(procfs.PIOCSNAP, &sn); err != nil {
+		fmt.Fprintln(os.Stderr, "PIOCSNAP:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rev=%d churned=%v records=%d\n", sn.Rev, sn.Churned, len(sn.Procs))
+	for _, rec := range sn.Procs {
+		fmt.Printf("  pid=%d comm=%s state=%c utime=%d syscalls=%d\n",
+			rec.Info.Pid, rec.Info.Comm, rec.Info.State, rec.Usage.UserTicks, rec.Usage.Syscalls)
+	}
+	// Stale-token round trip: the table is static, so no churn.
+	again := procfs.PrSnap{Rev: sn.Rev}
+	if err := f.Ioctl(procfs.PIOCSNAP, &again); err != nil {
+		fmt.Fprintln(os.Stderr, "re-snap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("re-snap: rev=%d churned=%v\n", again.Rev, again.Churned)
+	// A non-super client on the same server must see a filtered table.
+	conn2, err := net.Dial("tcp", "127.0.0.1:7911")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ucl := rfs.NewClient(&rfs.ConnTransport{Conn: conn2}, types.UserCred(100, 10))
+	uf, err := ucl.Open("/proc", vfs.ORead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "user open /proc:", err)
+		os.Exit(1)
+	}
+	defer uf.Close()
+	var usn procfs.PrSnap
+	if err := uf.Ioctl(procfs.PIOCSNAP, &usn); err != nil {
+		fmt.Fprintln(os.Stderr, "user PIOCSNAP:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("uid100 snapshot: %d records:", len(usn.Procs))
+	for _, rec := range usn.Procs {
+		fmt.Printf(" %s(uid=%d)", rec.Info.Comm, rec.Info.UID)
+	}
+	fmt.Println()
+}
