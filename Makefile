@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7
 
 build:
 	$(GO) build ./...
@@ -57,9 +57,29 @@ bench-json-pr6:
 	$(GO) run ./cmd/benchjson -label after -o BENCH_PR6.json
 	$(GO) run ./cmd/benchjson -workload . -wseed 1 -label after -o BENCH_PR6.json
 
+# verify-smp exercises the SMP scheduler under the race detector: the
+# shootdown-barrier mechanics, the fork/wait/signal storm and brk-shootdown
+# programs at NCPU=4, and every workload scenario at NCPU=4 with the
+# per-pass worker goroutine-leak check. GOMAXPROCS is forced up so worker
+# goroutines genuinely interleave even on small hosts.
+verify-smp:
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestShootdownBarrier|TestDeterministicModeHasNoSMP' ./internal/kernel/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSMP' .
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestWorkloadSMPSmoke' ./internal/workload/
+
+# bench-json-pr7 records the SMP scaling numbers as BENCH_PR7.json: the
+# KernelStep scaling curve across NCPU=1/2/4/8 (host_cpus records how many
+# cores the host actually had), plus the fork_storm and syscall_mill macro
+# scenarios on the deterministic scheduler ("det") and at NCPU=4 ("smp4").
+bench-json-pr7:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStepSMP' -label after -o BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -label det -o BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -ncpu 4 -label smp4 -o BENCH_PR7.json
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
-# the fault-matrix smoke, the workload smoke, and the benchmark smoke runs.
-verify: build test race vet fault-smoke workload-smoke bench-smoke bench-json-smoke
+# the fault-matrix smoke, the workload smoke, the SMP race suite, and the
+# benchmark smoke runs.
+verify: build test race vet fault-smoke workload-smoke verify-smp bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

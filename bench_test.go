@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -850,6 +851,28 @@ func BenchmarkKernelStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// The SMP scheduler across CPU counts, with enough runnable processes to
+// fill every run queue. NCPU=1 is the deterministic scheduler on the same
+// population, so the sub-benchmarks read directly as the scaling curve.
+// Scaling is real only when the host has cores to spend: the host_cpus
+// metric records what was available, and on a single-core host the wins
+// come from overlap, not parallelism.
+func BenchmarkKernelStepSMP(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ncpu=%d", n), func(b *testing.B) {
+			s := repro.NewSystem(repro.Options{NCPU: n})
+			for i := 0; i < 32; i++ {
+				spawnBench(b, s, fmt.Sprintf("spin%d", i), benchSpin)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			b.ReportMetric(float64(runtime.NumCPU()), "host_cpus")
+		})
 	}
 }
 

@@ -151,13 +151,14 @@ func main() {
 	wops := flag.Int("wops", 0, "workload: operations per scenario (0 = scenario default)")
 	wprocs := flag.Int("wprocs", 0, "workload: population size (0 = scenario default)")
 	wseed := flag.Int64("wseed", 1, "workload: scenario seed")
+	ncpu := flag.Int("ncpu", 0, "scheduler CPUs: 0 = deterministic default; above 1 runs the SMP scheduler (workloads directly, micro benchmarks via REPRO_NCPU)")
 	flag.Parse()
 
 	var results map[string]Result
 	if *wl != "" {
 		var err error
 		results, err = runWorkloads(*wl, workload.Config{
-			Seed: *wseed, Ops: *wops, Procs: *wprocs,
+			Seed: *wseed, Ops: *wops, Procs: *wprocs, NCPU: *ncpu,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -167,6 +168,9 @@ func main() {
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
 			"-benchmem", "-benchtime", *benchtime, *pkg)
 		cmd.Env = os.Environ()
+		if *ncpu > 0 {
+			cmd.Env = append(cmd.Env, fmt.Sprintf("REPRO_NCPU=%d", *ncpu))
+		}
 		var buf bytes.Buffer
 		cmd.Stdout = &buf
 		cmd.Stderr = os.Stderr

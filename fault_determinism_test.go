@@ -23,7 +23,7 @@ func TestFaultPlanDeterminism(t *testing.T) {
 	t.Cleanup(fault.Default.Reset)
 	run := func() (trace, stats, faults, ps []byte) {
 		fault.Default.Reset()
-		s := repro.NewSystem()
+		s := repro.NewSystem(repro.Options{NCPU: 1}) // bit-for-bit replay: pin the deterministic scheduler
 		s.K.EnableKTraceAll(1 << 20)
 		if err := s.Install("/bin/family", familyProg, 0o755, 0, 0); err != nil {
 			t.Fatal(err)

@@ -35,7 +35,6 @@ func (k *Kernel) Spawn(path string, args []string, cred types.Cred, parent *Proc
 		CWD:    "/",
 		Umask:  0o22,
 		Start:  k.clock,
-		state:  PAlive,
 		fds:    map[int]*vfs.File{},
 	}
 	if parent != nil {

@@ -37,7 +37,7 @@ type RunFlags struct {
 // mechanisms: clearing the /proc claim does not release a job-control stop
 // (only SIGCONT does) or a ptrace stop (only the ptrace parent can).
 func (k *Kernel) RunLWP(l *LWP, f RunFlags) error {
-	if l.Proc.state != PAlive {
+	if !l.Proc.Alive() {
 		return ErrNoProcess
 	}
 	if !l.procClaim {
@@ -50,6 +50,7 @@ func (k *Kernel) RunLWP(l *LWP, f RunFlags) error {
 	}
 	if f.SetSig != 0 {
 		l.CurSig = f.SetSig
+		l.Proc.noteIntr()
 	}
 	if f.ClearFault {
 		l.clearFlt = true
@@ -67,6 +68,7 @@ func (k *Kernel) RunLWP(l *LWP, f RunFlags) error {
 	}
 	if f.Stop {
 		l.dstop = true
+		l.Proc.noteIntr()
 	}
 	if f.SetPC {
 		l.CPU.Regs.PC = f.PC
@@ -116,7 +118,7 @@ var ErrJobStopped = errors.New("kernel: process is stopped by job control; the r
 // job-control stop that only SIGCONT can release.
 func (k *Kernel) WaitStop(p *Proc, maxSteps int) (*LWP, error) {
 	err := k.RunUntil(func() bool {
-		return p.state != PAlive || p.EventStoppedLWP() != nil
+		return !p.Alive() || p.EventStoppedLWP() != nil
 	}, maxSteps)
 	if err != nil {
 		if err == ErrDeadlock {
@@ -128,7 +130,7 @@ func (k *Kernel) WaitStop(p *Proc, maxSteps int) (*LWP, error) {
 		}
 		return nil, err
 	}
-	if p.state != PAlive {
+	if !p.Alive() {
 		return nil, ErrNoProcess
 	}
 	return p.EventStoppedLWP(), nil
@@ -138,12 +140,12 @@ func (k *Kernel) WaitStop(p *Proc, maxSteps int) (*LWP, error) {
 // control files use it).
 func (k *Kernel) WaitLWPStop(l *LWP, maxSteps int) error {
 	err := k.RunUntil(func() bool {
-		return l.Proc.state != PAlive || l.state == LZombie || l.StoppedOnEvent()
+		return !l.Proc.Alive() || l.state == LZombie || l.StoppedOnEvent()
 	}, maxSteps)
 	if err != nil {
 		return err
 	}
-	if l.Proc.state != PAlive || l.state == LZombie {
+	if !l.Proc.Alive() || l.state == LZombie {
 		return ErrNoProcess
 	}
 	return nil
@@ -170,6 +172,9 @@ func (k *Kernel) ReleaseTracing(p *Proc) {
 // clears the current signal.
 func (l *LWP) SetCurSig(sig int) {
 	l.CurSig = sig
+	if sig != 0 {
+		l.Proc.noteIntr()
+	}
 	if sig == 0 {
 		l.sigStopTaken = false
 		l.ptraceStopTaken = false
@@ -283,7 +288,7 @@ func (l *LWP) LWPStatus() ProcStatus {
 // Status snapshots the representative LWP — what the flat (single-threaded)
 // /proc interface reports.
 func (p *Proc) Status() (ProcStatus, error) {
-	if p.state != PAlive {
+	if !p.Alive() {
 		return ProcStatus{}, ErrNoProcess
 	}
 	l := p.Rep()
@@ -339,7 +344,7 @@ func (p *Proc) PSInfo() PSInfo {
 		info.Args += a
 	}
 	switch {
-	case p.state == PZombie || p.state == PGone:
+	case p.State() == PZombie || p.State() == PGone:
 		info.State = 'Z'
 	case p.System:
 		info.State = 'S'

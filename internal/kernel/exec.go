@@ -89,6 +89,7 @@ func (k *Kernel) execProc(l *LWP, path string, args []string) sysResult {
 			p.Trace.Excl = false
 			p.Trace.RunLC = true
 			l.dstop = true
+			p.noteIntr()
 			k.tracef("pid %d set-id exec: /proc descriptors invalidated", p.Pid)
 		}
 	}
@@ -104,6 +105,8 @@ func (k *Kernel) execProc(l *LWP, path string, args []string) sysResult {
 	l.CPU.AS = newAS
 	if old != nil {
 		old.Unref()
+		// No other CPU may keep serving translations for the retired space.
+		k.shootdown(old)
 	}
 	if p.borrowsAS {
 		// A vfork child gives the borrowed space back on exec.

@@ -14,13 +14,13 @@ import (
 // anywhere in the kernel must leave all of this exactly as it found it.
 // It returns the first violation found, or nil.
 func (k *Kernel) CheckInvariants() error {
-	if len(k.procs) != len(k.order) {
-		return fmt.Errorf("kernel: pid map has %d entries, order list %d", len(k.procs), len(k.order))
+	if n := k.pidCount(); n != len(k.order) {
+		return fmt.Errorf("kernel: pid map has %d entries, order list %d", n, len(k.order))
 	}
 	seen := make(map[int]bool, len(k.order))
 	checkedAS := make(map[*mem.AS]bool)
 	for _, p := range k.order {
-		if q := k.procs[p.Pid]; q != p {
+		if q := k.Proc(p.Pid); q != p {
 			return fmt.Errorf("kernel: pid %d maps to a different process record", p.Pid)
 		}
 		if seen[p.Pid] {
@@ -31,7 +31,7 @@ func (k *Kernel) CheckInvariants() error {
 			return err
 		}
 	}
-	if k.initProc != nil && k.procs[1] != k.initProc {
+	if k.initProc != nil && k.Proc(1) != k.initProc {
 		return fmt.Errorf("kernel: init process is not pid 1 in the table")
 	}
 	if k.KT != nil {
@@ -43,12 +43,12 @@ func (k *Kernel) CheckInvariants() error {
 }
 
 func (k *Kernel) checkProc(p *Proc, checkedAS map[*mem.AS]bool) error {
-	switch p.state {
+	switch p.State() {
 	case PAlive, PZombie:
 	case PGone:
 		return fmt.Errorf("kernel: pid %d is reaped but still in the process table", p.Pid)
 	default:
-		return fmt.Errorf("kernel: pid %d in unknown state %d", p.Pid, p.state)
+		return fmt.Errorf("kernel: pid %d in unknown state %d", p.Pid, p.State())
 	}
 	// Pid 0 is the conventional sched/swapper system process; every other
 	// slot must carry a positive pid.
@@ -74,12 +74,12 @@ func (k *Kernel) checkProc(p *Proc, checkedAS map[*mem.AS]bool) error {
 			return fmt.Errorf("kernel: pid %d lists child %d whose parent is not it",
 				p.Pid, kid.Pid)
 		}
-		if kid.state == PGone {
+		if kid.State() == PGone {
 			return fmt.Errorf("kernel: pid %d lists reaped child %d", p.Pid, kid.Pid)
 		}
 	}
 	// Descriptor table: zombies hold nothing; live tables stay in bounds.
-	if p.state == PZombie {
+	if p.State() == PZombie {
 		if len(p.fds) != 0 {
 			return fmt.Errorf("kernel: zombie pid %d holds %d open descriptors", p.Pid, len(p.fds))
 		}
@@ -124,7 +124,7 @@ func (k *Kernel) checkProc(p *Proc, checkedAS map[*mem.AS]bool) error {
 		}
 	}
 	for _, l := range p.LWPs {
-		if p.state == PAlive && l.state != LZombie && l.CPU.AS != p.AS {
+		if p.Alive() && l.state != LZombie && l.CPU.AS != p.AS {
 			return fmt.Errorf("kernel: pid %d LWP runs on a different address space", p.Pid)
 		}
 		if err := l.CPU.CheckTLB(); err != nil {

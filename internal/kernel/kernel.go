@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ktrace"
 	"repro/internal/mem"
@@ -33,6 +36,25 @@ type Config struct {
 	// reference interpreter for differential testing. The REPRO_NOTLB
 	// environment variable forces it for a whole test or benchmark run.
 	NoTLB bool
+	// NCPU is the number of scheduler CPUs. 0 or 1 selects the
+	// deterministic single-threaded scheduler (the default); above 1 each
+	// Step fans the run queues out to NCPU worker goroutines with
+	// work-stealing (see smp.go). The REPRO_NCPU environment variable
+	// supplies a value for a whole run when the config leaves it 0 — an
+	// explicit setting wins, so the bit-for-bit suites can pin the
+	// deterministic scheduler regardless of the environment.
+	NCPU int
+}
+
+// pidShards is the pid-map shard count (a power of two so the shard index
+// is a mask). Sharding keeps pid lookups contention-free when many CPUs
+// fork and look up concurrently.
+const pidShards = 16
+
+// pidShard is one shard of the pid map.
+type pidShard struct {
+	mu sync.RWMutex
+	m  map[int]*Proc
 }
 
 // Kernel is one simulated system.
@@ -42,12 +64,20 @@ type Kernel struct {
 	Quantum  int
 	NoTLB    bool
 
-	clock    int64
-	procs    map[int]*Proc
-	order    []*Proc // scheduling and readdir order
-	nextPid  int
-	rrIndex  int    // round-robin position
-	tableRev uint64 // bumped on every process-table change (fork, exit, reap)
+	clock   int64
+	pids    [pidShards]pidShard // sharded pid map
+	order   []*Proc             // scheduling and readdir order
+	orderMu sync.RWMutex        // guards order for host-side readers (Procs)
+	nextPid int
+	rrIndex  int           // round-robin position (deterministic scheduler)
+	tableRev atomic.Uint64 // bumped on every process-table change (fork, exit, reap)
+
+	// SMP mode (Config.NCPU > 1). big is the "big kernel lock": every
+	// kernel phase that touches cross-process state runs under it; user
+	// instruction stepping and a handful of process-local system calls do
+	// not. nil smp means the deterministic single-threaded scheduler.
+	smp *smpState
+	big sync.Mutex
 
 	initProc *Proc
 	clockQ   waitq // timed sleeps (sleep(2)) block here
@@ -76,12 +106,24 @@ func New(ns *vfs.NS, cfg Config) *Kernel {
 	if os.Getenv("REPRO_NOTLB") != "" {
 		cfg.NoTLB = true
 	}
+	if cfg.NCPU == 0 {
+		if v := os.Getenv("REPRO_NCPU"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				cfg.NCPU = n
+			}
+		}
+	}
 	k := &Kernel{
 		NS:       ns,
 		PageSize: cfg.PageSize,
 		Quantum:  cfg.Quantum,
 		NoTLB:    cfg.NoTLB,
-		procs:    make(map[int]*Proc),
+	}
+	for i := range k.pids {
+		k.pids[i].m = make(map[int]*Proc)
+	}
+	if cfg.NCPU > 1 {
+		k.smp = newSMP(k, cfg.NCPU)
 	}
 	k.newSystemProc(0, "sched")
 	k.nextPid = 1 // init will be pid 1 when spawned
@@ -103,16 +145,44 @@ func (k *Kernel) Tick() {
 	k.checkTimers()
 }
 
+// pidShardOf returns the shard holding pid.
+func (k *Kernel) pidShardOf(pid int) *pidShard {
+	return &k.pids[uint(pid)&(pidShards-1)]
+}
+
 // Proc looks up a process by pid; nil if no such process.
-func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+func (k *Kernel) Proc(pid int) *Proc {
+	sh := k.pidShardOf(pid)
+	sh.mu.RLock()
+	p := sh.m[pid]
+	sh.mu.RUnlock()
+	return p
+}
+
+// pidCount returns the number of pid-map entries across all shards.
+func (k *Kernel) pidCount() int {
+	n := 0
+	for i := range k.pids {
+		sh := &k.pids[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
 // Procs returns all processes in creation order (including zombies).
-func (k *Kernel) Procs() []*Proc { return append([]*Proc(nil), k.order...) }
+func (k *Kernel) Procs() []*Proc {
+	k.orderMu.RLock()
+	out := append([]*Proc(nil), k.order...)
+	k.orderMu.RUnlock()
+	return out
+}
 
 // TableRev is the process-table revision: it advances whenever the set of
 // processes (or their liveness) changes — fork, exit, reap. A caller holding
 // a table snapshot compares revisions to detect churn since it was taken.
-func (k *Kernel) TableRev() uint64 { return k.tableRev }
+func (k *Kernel) TableRev() uint64 { return k.tableRev.Load() }
 
 // InitProc returns process 1, if it has been spawned.
 func (k *Kernel) InitProc() *Proc { return k.initProc }
@@ -121,7 +191,7 @@ func (k *Kernel) allocPid() int {
 	for {
 		pid := k.nextPid
 		k.nextPid++
-		if _, taken := k.procs[pid]; !taken {
+		if k.Proc(pid) == nil {
 			return pid
 		}
 	}
@@ -131,9 +201,17 @@ func (k *Kernel) addProc(p *Proc) {
 	if p.KT == nil && k.KTDefaultCap > 0 {
 		p.KT = ktrace.NewRing(k.KTDefaultCap)
 	}
-	k.procs[p.Pid] = p
+	if p.Parent != nil {
+		p.ppid.Store(int32(p.Parent.Pid))
+	}
+	sh := k.pidShardOf(p.Pid)
+	sh.mu.Lock()
+	sh.m[p.Pid] = p
+	sh.mu.Unlock()
+	k.orderMu.Lock()
 	k.order = append(k.order, p)
-	k.tableRev++
+	k.orderMu.Unlock()
+	k.tableRev.Add(1)
 	if p.Pid == 1 {
 		k.initProc = p
 	}
@@ -141,14 +219,19 @@ func (k *Kernel) addProc(p *Proc) {
 
 // removeProc drops a fully-reaped process from the tables.
 func (k *Kernel) removeProc(p *Proc) {
-	k.tableRev++
-	delete(k.procs, p.Pid)
+	k.tableRev.Add(1)
+	sh := k.pidShardOf(p.Pid)
+	sh.mu.Lock()
+	delete(sh.m, p.Pid)
+	sh.mu.Unlock()
+	k.orderMu.Lock()
 	for i, q := range k.order {
 		if q == p {
 			k.order = append(k.order[:i], k.order[i+1:]...)
 			break
 		}
 	}
+	k.orderMu.Unlock()
 }
 
 // newSystemProc creates a kernel-internal process with no address space.
@@ -159,7 +242,6 @@ func (k *Kernel) newSystemProc(pid int, name string) *Proc {
 		Comm:   name,
 		Args:   []string{name},
 		System: true,
-		state:  PAlive,
 		fds:    map[int]*vfs.File{},
 		CWD:    "/",
 		Start:  k.clock,
@@ -172,7 +254,7 @@ func (k *Kernel) newSystemProc(pid int, name string) *Proc {
 // created by New). Call after init has been spawned so pid numbering matches
 // historical systems.
 func (k *Kernel) BootSystemProcs() {
-	if _, ok := k.procs[2]; !ok {
+	if k.Proc(2) == nil {
 		k.newSystemProc(2, "pageout")
 		if k.nextPid <= 2 {
 			k.nextPid = 3
@@ -189,8 +271,13 @@ var ErrDeadlock = errors.New("kernel: deadlock: nothing runnable")
 
 // Step runs one scheduling pass: every runnable LWP gets up to one quantum.
 // It reports whether any instruction was executed (false means the system is
-// fully idle: everything blocked, stopped or exited).
+// fully idle: everything blocked, stopped or exited). With Config.NCPU > 1
+// the pass fans out to the SMP scheduler's worker goroutines (smp.go);
+// otherwise it is the deterministic round-robin below.
 func (k *Kernel) Step() bool {
+	if k.smp != nil {
+		return k.stepSMP()
+	}
 	k.clock++
 	k.checkTimers()
 	ran := false
@@ -201,7 +288,7 @@ func (k *Kernel) Step() bool {
 			k.rrIndex = 0
 		}
 		p := k.order[k.rrIndex]
-		if p.state != PAlive || p.System {
+		if !p.Alive() || p.System {
 			continue
 		}
 		for _, l := range p.LWPs {
@@ -252,7 +339,7 @@ func (k *Kernel) RunUntil(cond func() bool, maxSteps int) error {
 // sleepers whose deadline has passed.
 func (k *Kernel) checkTimers() {
 	for _, p := range k.order {
-		if p.state != PAlive {
+		if !p.Alive() {
 			continue
 		}
 		if p.alarmAt != 0 && k.clock >= p.alarmAt {
@@ -273,7 +360,7 @@ func (k *Kernel) checkTimers() {
 // timers always fire eventually).
 func (k *Kernel) TimersPending() bool {
 	for _, p := range k.order {
-		if p.state != PAlive {
+		if !p.Alive() {
 			continue
 		}
 		if p.alarmAt != 0 {

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"sync/atomic"
+
 	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/types"
@@ -144,7 +146,11 @@ type Proc struct {
 	AS   *mem.AS
 	LWPs []*LWP
 
-	state      PState
+	// state holds a PState. It is atomic because SMP workers check the
+	// liveness of their claimed processes lock-free while a parent on
+	// another CPU may reap a zombie (PZombie → PGone) under the big lock;
+	// PAlive is the zero value so fresh Procs need no initialization.
+	state      atomic.Int32
 	ExitStatus int // wait(2) status encoding, valid when zombie
 
 	fds map[int]*vfs.File
@@ -180,6 +186,18 @@ type Proc struct {
 	borrowsAS bool
 	vforkQ    waitq
 
+	// SMP: intr is the interrupt nudge. The SMP user-mode hot loop checks
+	// only this atomic per instruction; anything that could require the
+	// full signal/stop gate (a posted signal, a directed stop, a current
+	// signal planted by a control operation) sets it, and the gate clears
+	// it — under the big kernel lock — once the condition is fully drained
+	// for every LWP. The deterministic scheduler never consults it.
+	intr atomic.Int32
+	// ppid caches Parent.Pid (0 when no parent) so lock-free process-local
+	// system calls (getpid) can read it while another CPU reparents
+	// orphans under the big lock. Maintained by addProc and finishExit.
+	ppid atomic.Int32
+
 	waitq  waitq // this process sleeps here in wait(2)
 	pauseQ waitq // this process sleeps here in pause(2)/sigsuspend(2)
 
@@ -192,14 +210,42 @@ type Sym struct {
 	Value uint32
 }
 
+// noteIntr marks the process as needing the full signal/stop gate on its
+// next user-mode instruction boundary. Call after posting a signal, setting
+// a current signal, or directing a stop.
+func (p *Proc) noteIntr() { p.intr.Store(1) }
+
+// clearIntr drops the interrupt nudge if nothing is left to gate on: no
+// pending process-level signal, and no LWP with a directed stop or current
+// signal. Callers must hold the big kernel lock in SMP mode (it races with
+// PostSignal otherwise).
+func (p *Proc) clearIntr() {
+	if !p.SigPend.IsEmpty() {
+		return
+	}
+	for _, l := range p.LWPs {
+		if l.dstop || l.CurSig != 0 {
+			return
+		}
+	}
+	p.intr.Store(0)
+}
+
+// PPid returns the parent pid (0 for parentless processes). It is safe to
+// call lock-free from any CPU.
+func (p *Proc) PPid() int { return int(p.ppid.Load()) }
+
 // State returns the lifecycle state.
-func (p *Proc) State() PState { return p.state }
+func (p *Proc) State() PState { return PState(p.state.Load()) }
+
+// setState moves the process to a new lifecycle state.
+func (p *Proc) setState(st PState) { p.state.Store(int32(st)) }
 
 // Alive reports whether the process has not exited.
-func (p *Proc) Alive() bool { return p.state == PAlive }
+func (p *Proc) Alive() bool { return p.State() == PAlive }
 
 // Zombie reports whether the process awaits reaping.
-func (p *Proc) Zombie() bool { return p.state == PZombie }
+func (p *Proc) Zombie() bool { return p.State() == PZombie }
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -401,6 +447,7 @@ func (l *LWP) DirectStop() {
 		return
 	}
 	l.dstop = true
+	l.Proc.noteIntr()
 	if l.sleeping {
 		// Wake it so the sleep loop can take the requested stop without
 		// disturbing the system call.

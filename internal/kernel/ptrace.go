@@ -44,8 +44,8 @@ func sysPtrace(k *Kernel, l *LWP) sysResult {
 		return ret(0)
 	}
 	// All other requests operate on a stopped traced child.
-	child := k.procs[pid]
-	if child == nil || child.Parent != l.Proc || !child.Ptraced || child.state != PAlive {
+	child := k.Proc(pid)
+	if child == nil || child.Parent != l.Proc || !child.Ptraced || !child.Alive() {
 		return rerr(ESRCH)
 	}
 	cl := child.Rep()
@@ -152,12 +152,12 @@ func (c *PtraceController) WaitStop(maxSteps int) (int, error) {
 	c.Ops++ // the wait(2) call
 	cl := c.P.Rep()
 	err := c.K.RunUntil(func() bool {
-		return c.P.state != PAlive || (cl != nil && cl.ptraceClaim)
+		return !c.P.Alive() || (cl != nil && cl.ptraceClaim)
 	}, maxSteps)
 	if err != nil {
 		return 0, err
 	}
-	if c.P.state != PAlive {
+	if !c.P.Alive() {
 		return 0, fmt.Errorf("ptrace: process %d exited", c.P.Pid)
 	}
 	return cl.what, nil
@@ -172,7 +172,7 @@ func (c *PtraceController) Stopped() bool {
 func (c *PtraceController) op(req int, addr, data uint32) (uint32, Errno) {
 	c.Ops++
 	cl := c.P.Rep()
-	if c.P.state != PAlive || cl == nil {
+	if !c.P.Alive() || cl == nil {
 		return 0, ESRCH
 	}
 	if req != PtKill && !cl.ptraceClaim {

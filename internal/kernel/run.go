@@ -9,16 +9,48 @@ import (
 // budget instructions. The stop points of the paper's Figure 3 are the
 // transitions of this machine: system call entry, system call exit, machine
 // faults, and signal receipt on the way back to user level. It returns
-// whether anything ran.
+// whether anything ran. This is the deterministic scheduler's entry point;
+// the SMP workers call runLWPOn with their own CPU.
 func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
+	return k.runLWPOn(nil, l, budget)
+}
+
+// runLWPOn is the phase machine parameterized by the executing CPU.
+//
+// w == nil is the deterministic single-threaded mode: counters are bumped
+// directly, no locks are taken, and the control flow is exactly the
+// historical one, so the bit-for-bit ktrace and fault-storm suites pin the
+// same behaviour they always did.
+//
+// w != nil is one SMP worker. The division of labor per iteration:
+//
+//   - User instruction stepping runs with no kernel lock at all. The only
+//     per-instruction synchronization is the process's intr atomic (the
+//     full signal/stop gate is taken under the big lock only when it is
+//     set) and the address space's own atomics on the TLB path.
+//   - Kernel phases that can touch cross-process state (signal delivery,
+//     stop events, most system calls, sleeps, trace emission) run under
+//     the big kernel lock, acquired lazily by w.lock() and dropped when
+//     the LWP returns to user level. Process-local system calls
+//     (sysProcLocal) dispatch without it.
+//   - The clock and usage counters accumulate in the worker and flush
+//     under the big lock once per quantum, so the user-mode hot loop
+//     performs no shared-memory writes per instruction.
+func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 	p := l.Proc
 	// A stop, sleep or death reached during this call counts as progress
 	// even when no instruction executed — the state advanced, and waiters
 	// (PIOCWSTOP, poll) must get a chance to observe it.
 	entryPhase, entryState := l.phase, l.state
+	if w != nil {
+		w.enter(l)
+	}
 	defer func() {
 		if l.phase != entryPhase || l.state != entryState {
 			ran = true
+		}
+		if w != nil {
+			w.leave(p)
 		}
 	}()
 	for budget > 0 {
@@ -29,19 +61,42 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 		case phUser:
 			// Natural points of control are where the process enters and
 			// leaves the kernel; a pending directive or signal enters it.
-			if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
-				if k.issig(l, false) {
-					k.psig(l)
+			if w == nil {
+				if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+					if k.issig(l, false) {
+						k.psig(l)
+					}
+					if l.state == LZombie || !p.Alive() || l.Stopped() {
+						return ran
+					}
 				}
-				if l.state == LZombie || !p.Alive() || l.Stopped() {
-					return ran
+			} else {
+				w.unlock() // back at user level: run without the big lock
+				if p.intr.Load() != 0 || l.CurSig != 0 {
+					w.lock()
+					if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+						if k.issig(l, false) {
+							k.psig(l)
+						}
+					} else {
+						p.clearIntr()
+					}
+					w.unlock()
+					if l.state == LZombie || !p.Alive() || l.Stopped() {
+						return ran
+					}
 				}
 			}
 			tr := l.CPU.Step()
 			budget--
 			ran = true
-			k.clock++
-			p.Usage.UserTicks++
+			if w == nil {
+				k.clock++
+				p.Usage.UserTicks++
+			} else {
+				w.ticks++
+				w.userTicks++
+			}
 			switch tr.Kind {
 			case vcpu.TrapNone:
 			case vcpu.TrapSyscall:
@@ -50,7 +105,11 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.sysExitDone = false
 				l.sysStored = false
 				l.abortSys = false
-				p.Usage.Syscalls++
+				if w == nil {
+					p.Usage.Syscalls++
+				} else {
+					w.syscalls++
+				}
 				l.phase = phSysEntry
 			case vcpu.TrapFault:
 				if tr.Fault == types.FLTTRACE {
@@ -60,8 +119,15 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.CurFlt = tr.Fault
 				l.FltAddr = tr.Addr
 				l.fltStopDone = false
-				p.Usage.Faults++
+				if w == nil {
+					p.Usage.Faults++
+				} else {
+					w.faults++
+				}
 				if k.ktEnabled(p) {
+					if w != nil {
+						w.lock()
+					}
 					k.ktFault(l, tr.Fault, tr.Addr)
 				}
 				l.phase = phFault
@@ -72,6 +138,9 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 			// fetched the arguments, so a debugger can change them.
 			if !l.sysEntryDone && p.Trace.Entry.Has(l.sysNum) {
 				l.sysEntryDone = true
+				if w != nil {
+					w.lock()
+				}
 				l.stopEvent(WhySysEntry, l.sysNum)
 				return ran
 			}
@@ -83,6 +152,9 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 			// The entry event is recorded after the arguments are fetched,
 			// so it reflects any changes a debugger made at the entry stop.
 			if k.ktEnabled(p) {
+				if w != nil {
+					w.lock()
+				}
 				k.ktSysEntry(l)
 			}
 			if l.abortSys {
@@ -99,14 +171,28 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 			// re-asks the question, as issig() within an interruptible
 			// sleep does: a delivered signal makes the call fail EINTR; a
 			// requested stop leaves the call undisturbed.
-			if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
-				if k.issig(l, true) {
-					l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
-					l.phase = phSysExit
-					continue
+			if w == nil {
+				if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+					if k.issig(l, true) {
+						l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
+						l.phase = phSysExit
+						continue
+					}
+					if l.state == LZombie || !p.Alive() || l.Stopped() {
+						return ran
+					}
 				}
-				if l.state == LZombie || !p.Alive() || l.Stopped() {
-					return ran
+			} else if p.intr.Load() != 0 || l.CurSig != 0 {
+				w.lock()
+				if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
+					if k.issig(l, true) {
+						l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
+						l.phase = phSysExit
+						continue
+					}
+					if l.state == LZombie || !p.Alive() || l.Stopped() {
+						return ran
+					}
 				}
 			}
 			if l.abortSys {
@@ -115,15 +201,31 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 				l.phase = phSysExit
 				continue
 			}
+			if w != nil && !(l.sysNum >= 1 && l.sysNum <= MaxSysNum && sysProcLocal[l.sysNum]) {
+				w.lock()
+				// Handlers read the clock and this process's own usage
+				// (time, times, alarm): fold the quantum's deltas in first
+				// so a process observes its own ticks, as it would have in
+				// deterministic mode.
+				w.flush(p)
+			}
 			res := k.dispatch(l)
 			budget--
 			ran = true
-			k.clock++
-			p.Usage.SysTicks++
+			if w == nil {
+				k.clock++
+				p.Usage.SysTicks++
+			} else {
+				w.ticks++
+				w.sysTicks++
+			}
 			if res.NoReturn {
 				return ran
 			}
 			if res.SleepOn != nil {
+				if w != nil {
+					w.lock() // wakers on other CPUs read the sleep state
+				}
 				l.sleep(res.SleepOn)
 				return ran
 			}
@@ -142,10 +244,16 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 			}
 			if !l.sysExitDone && p.Trace.Exit.Has(l.sysNum) {
 				l.sysExitDone = true
+				if w != nil {
+					w.lock()
+				}
 				l.stopEvent(WhySysExit, l.sysNum)
 				return ran
 			}
 			if k.ktEnabled(p) {
+				if w != nil {
+					w.lock()
+				}
 				k.ktSysExit(l)
 			}
 			if l.suspSaved != nil {
@@ -158,17 +266,30 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 		case phRetUser:
 			// Just before returning to user level:
 			//	if (issig()) psig();
-			if k.issig(l, false) {
-				k.psig(l)
-			}
-			if l.state == LZombie || !p.Alive() || l.Stopped() {
-				return ran
+			if w == nil {
+				if k.issig(l, false) {
+					k.psig(l)
+				}
+				if l.state == LZombie || !p.Alive() || l.Stopped() {
+					return ran
+				}
+			} else if p.intr.Load() != 0 || l.CurSig != 0 || l.dstop {
+				w.lock()
+				if k.issig(l, false) {
+					k.psig(l)
+				}
+				if l.state == LZombie || !p.Alive() || l.Stopped() {
+					return ran
+				}
 			}
 			l.phase = phUser
 
 		case phFault:
 			if !l.fltStopDone && p.Trace.Faults.Has(l.CurFlt) {
 				l.fltStopDone = true
+				if w != nil {
+					w.lock()
+				}
 				l.stopEvent(WhyFaulted, l.CurFlt)
 				return ran
 			}
@@ -185,14 +306,31 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 			// Otherwise the process is sent a signal, normally SIGTRAP or
 			// SIGILL for breakpoints.
 			if sig := types.FaultSignal(flt); sig != 0 {
+				if w != nil {
+					w.lock()
+				}
 				k.PostSignal(p, sig)
 			}
 			l.phase = phRetUser
 		}
 	}
-	p.Usage.InvolCtx++
-	if k.ktEnabled(p) {
-		k.ktSchedTick(l)
+	// Quantum expiry. The involuntary context switch is charged (and the
+	// scheduling tick traced) only when something actually ran: a call
+	// that arrives with an exhausted budget, or spends the whole quantum
+	// gated, never held the CPU and must not be billed for losing it.
+	if ran {
+		if w == nil {
+			p.Usage.InvolCtx++
+			if k.ktEnabled(p) {
+				k.ktSchedTick(l)
+			}
+		} else {
+			w.involCtx++
+			if k.ktEnabled(p) {
+				w.lock()
+				k.ktSchedTick(l)
+			}
+		}
 	}
 	return ran
 }

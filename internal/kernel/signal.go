@@ -15,7 +15,7 @@ const sigALRM = types.SIGALRM
 // only when it is received", which is exactly why the paper prefers faults
 // over signals for breakpoints.
 func (k *Kernel) PostSignal(p *Proc, sig int) {
-	if p == nil || p.state != PAlive || sig < 1 || sig > types.MaxSig {
+	if p == nil || !p.Alive() || sig < 1 || sig > types.MaxSig {
 		return
 	}
 	p.Usage.Signals++
@@ -59,6 +59,7 @@ func (k *Kernel) PostSignal(p *Proc, sig int) {
 	}
 
 	p.SigPend.Add(sig)
+	p.noteIntr()
 	// Wake any interruptible sleeper that can receive it, so issig() runs.
 	for _, l := range p.LWPs {
 		if l.sleeping && (!l.SigHold.Has(sig) || sig == types.SIGKILL) {

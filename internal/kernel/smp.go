@@ -1,0 +1,272 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// SMP scheduling (Config.NCPU > 1).
+//
+// The schedulable unit is the whole process: the LWPs of one process never
+// run on two CPUs at once, which preserves the kernel's invariant that a
+// process's own state is only ever mutated from "its" CPU or under the big
+// kernel lock. Each scheduling pass partitions the alive user processes
+// into per-CPU run queues (by pid, so placement is stable across passes),
+// spawns one worker goroutine per CPU, and joins them. A worker drains its
+// own queue first and then steals from the other queues; the atomic cursor
+// in each queue makes popping race-free, so a process is claimed by exactly
+// one worker per pass.
+//
+// Workers are spawned per pass rather than parked persistently: the pass
+// join is the only synchronization the control plane needs (everything
+// between Step calls is single-threaded, exactly like deterministic mode),
+// and goroutine-leak checks in tests stay trivially clean.
+//
+// Synchronization summary:
+//
+//   - k.big, the big kernel lock, serializes all kernel phases that touch
+//     cross-process state (signals, stops, sleeps, most system calls,
+//     trace rings, fork/exit). See runLWPOn.
+//   - Process-table membership is sharded (k.pids) with a separate order
+//     list lock (k.orderMu) so host-side readers never block the passes.
+//   - The per-quantum clock/usage counters accumulate in the kcpu and
+//     flush under k.big once per quantum.
+//   - kcpu.curAS publishes which address space the worker may be touching
+//     lock-free (user-mode stepping); the TLB shootdown barrier below
+//     spins on it.
+
+// runQueue is one CPU's share of a scheduling pass. pos is the claim
+// cursor: pop = pos.Add(1)-1, so owners and thieves use the same code.
+type runQueue struct {
+	pos   atomic.Int32
+	procs []*Proc
+}
+
+// kcpu is one scheduler CPU. Fields other than curAS are only touched by
+// the worker goroutine that owns the kcpu during a pass (or by the
+// single-threaded driver between passes).
+type kcpu struct {
+	id int
+	k  *Kernel
+
+	// curAS publishes the address space this CPU may currently be
+	// translating for without holding the big lock (user-mode stepping).
+	// nil whenever the CPU is idle or inside the kernel. The shootdown
+	// barrier spins until no CPU publishes the dying space.
+	curAS atomic.Pointer[mem.AS]
+	as    *mem.AS // the running LWP's space (restored into curAS on unlock)
+
+	// locked tracks whether this worker holds k.big, making lock/unlock
+	// idempotent: runLWPOn acquires lazily at the first kernel-phase need
+	// and releases on return to user level.
+	locked bool
+
+	// Per-quantum counter deltas, flushed under the big lock by flush().
+	ticks     int64
+	userTicks int64
+	sysTicks  int64
+	syscalls  int64
+	faults    int64
+	involCtx  int64
+
+	ran     bool   // did anything run on this CPU this pass
+	scratch []*LWP // claimed-LWP buffer, reused across quanta
+}
+
+// smpState hangs off the Kernel when Config.NCPU > 1.
+type smpState struct {
+	cpus   []*kcpu
+	queues []runQueue
+}
+
+func newSMP(k *Kernel, n int) *smpState {
+	s := &smpState{
+		cpus:   make([]*kcpu, n),
+		queues: make([]runQueue, n),
+	}
+	for i := range s.cpus {
+		s.cpus[i] = &kcpu{id: i, k: k}
+	}
+	return s
+}
+
+// NCPU returns the number of scheduler CPUs (1 in deterministic mode).
+func (k *Kernel) NCPU() int {
+	if k.smp == nil {
+		return 1
+	}
+	return len(k.smp.cpus)
+}
+
+// lock acquires the big kernel lock for this worker if it does not already
+// hold it. The worker's published address space is cleared first: a CPU
+// that blocks on the lock must never be spun on by a shootdown initiator
+// that holds the lock, or the two would deadlock.
+func (w *kcpu) lock() {
+	if w.locked {
+		return
+	}
+	w.curAS.Store(nil)
+	w.k.big.Lock()
+	w.locked = true
+}
+
+// unlock drops the big lock if held and republishes the running space for
+// the user-mode stepping that follows.
+func (w *kcpu) unlock() {
+	if !w.locked {
+		return
+	}
+	w.k.big.Unlock()
+	w.locked = false
+	if w.as != nil {
+		w.curAS.Store(w.as)
+	}
+}
+
+// enter marks the start of a quantum for l on this CPU.
+func (w *kcpu) enter(l *LWP) {
+	w.as = l.CPU.AS
+	if w.as != nil {
+		w.curAS.Store(w.as)
+	}
+}
+
+// leave marks the end of a quantum: flush counter deltas under the big
+// lock if any accumulated, release the lock, and withdraw the published
+// address space.
+func (w *kcpu) leave(p *Proc) {
+	if w.ticks != 0 || w.syscalls != 0 || w.faults != 0 || w.involCtx != 0 {
+		w.lock()
+		w.flush(p)
+	}
+	w.unlock()
+	w.as = nil
+	w.curAS.Store(nil)
+}
+
+// flush folds the per-quantum deltas into the shared clock and the
+// process's usage. Caller holds the big lock.
+func (w *kcpu) flush(p *Proc) {
+	w.k.clock += w.ticks
+	p.Usage.UserTicks += w.userTicks
+	p.Usage.SysTicks += w.sysTicks
+	p.Usage.Syscalls += w.syscalls
+	p.Usage.Faults += w.faults
+	p.Usage.InvolCtx += w.involCtx
+	w.ticks, w.userTicks, w.sysTicks = 0, 0, 0
+	w.syscalls, w.faults, w.involCtx = 0, 0, 0
+}
+
+// shootdown is the cross-CPU TLB invalidation barrier. The caller has
+// already bumped the address space's generation (every Map/Unmap/Mprotect/
+// Brk does), which stops new translations; this waits until no other CPU
+// is still inside a user instruction on the space, closing the window in
+// which an in-flight access could use a stale frame. The initiator runs
+// under the big lock with its own curAS withdrawn, and blocked CPUs clear
+// theirs before sleeping on the lock, so the spin always terminates.
+// Deterministic mode and host-side callers (no pass running) fall through
+// immediately.
+func (k *Kernel) shootdown(as *mem.AS) {
+	if k.smp == nil || as == nil {
+		return
+	}
+	for _, w := range k.smp.cpus {
+		for w.curAS.Load() == as {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stepSMP is Step for NCPU > 1: one scheduling pass fanned out to the
+// worker goroutines.
+func (k *Kernel) stepSMP() bool {
+	// The pass prologue is single-threaded: no workers are running, so the
+	// clock tick and timer sweep need no locks and stay in pass order.
+	k.clock++
+	k.checkTimers()
+
+	// Rebuild the run queues. Placement by pid keeps a process on the same
+	// queue across passes (cache- and reasoning-friendly); work-stealing
+	// rebalances when the partition is uneven.
+	s := k.smp
+	n := len(s.cpus)
+	for i := range s.queues {
+		s.queues[i].procs = s.queues[i].procs[:0]
+		s.queues[i].pos.Store(0)
+	}
+	k.orderMu.RLock()
+	for _, p := range k.order {
+		if !p.Alive() || p.System {
+			continue
+		}
+		q := &s.queues[uint(p.Pid)%uint(n)]
+		q.procs = append(q.procs, p)
+	}
+	k.orderMu.RUnlock()
+
+	var wg sync.WaitGroup
+	for _, w := range s.cpus {
+		w.ran = false
+		wg.Add(1)
+		go func(w *kcpu) {
+			defer wg.Done()
+			k.runPass(w)
+		}(w)
+	}
+	wg.Wait()
+
+	ran := false
+	for _, w := range s.cpus {
+		if w.ran {
+			ran = true
+		}
+	}
+	return ran
+}
+
+// runPass drains this CPU's queue, then steals from the others.
+func (k *Kernel) runPass(w *kcpu) {
+	s := k.smp
+	n := len(s.queues)
+	for i := 0; i < n; i++ {
+		q := &s.queues[(w.id+i)%n]
+		for {
+			idx := int(q.pos.Add(1)) - 1
+			if idx >= len(q.procs) {
+				break
+			}
+			k.runProc(w, q.procs[idx])
+		}
+	}
+}
+
+// runProc gives every runnable LWP of p one quantum on this CPU. The
+// runnable set is collected under the big lock (other CPUs wake sleepers
+// and post signals under it); the quanta themselves run with the usual
+// lazy locking in runLWPOn.
+func (k *Kernel) runProc(w *kcpu, p *Proc) {
+	k.big.Lock()
+	if !p.Alive() {
+		k.big.Unlock()
+		return
+	}
+	w.scratch = w.scratch[:0]
+	for _, l := range p.LWPs {
+		if l.Runnable() {
+			w.scratch = append(w.scratch, l)
+		}
+	}
+	k.big.Unlock()
+	for _, l := range w.scratch {
+		if k.runLWPOn(w, l, k.Quantum) {
+			w.ran = true
+		}
+		if !p.Alive() {
+			return
+		}
+	}
+}

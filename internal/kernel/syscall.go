@@ -140,6 +140,21 @@ func rsleep(q *waitq) sysResult  { return sysResult{SleepOn: q} }
 
 var sysTable [MaxSysNum + 1]sysent
 
+// sysProcLocal marks the system calls whose handlers read only their own
+// process's stable or atomically-maintained state. The SMP scheduler
+// dispatches them without taking the big kernel lock, so a fleet of getpid
+// grinders scales with CPUs instead of serializing on one mutex. A call may
+// appear here only if its handler performs no cross-process reads, no
+// mutation another CPU could observe, and no sleeping.
+var sysProcLocal = [MaxSysNum + 1]bool{
+	SysGetpid:  true, // Pid immutable; ppid kept in an atomic
+	SysGetuid:  true, // own Cred, written only by this process's own calls
+	SysGetgid:  true,
+	SysGetpgrp: true, // own Pgrp, written only by this process's setpgrp
+	SysLwpSelf: true, // own LWP id
+	SysYield:   true, // no state at all
+}
+
 func init() {
 	sysTable[SysExit] = sysent{"exit", 1, sysExit}
 	sysTable[SysFork] = sysent{"fork", 0, sysFork}

@@ -17,16 +17,16 @@ func sysExit(k *Kernel, l *LWP) sysResult {
 // exitProc terminates a process: the exit(2) path, also reached from psig
 // for fatal signals.
 func (k *Kernel) exitProc(p *Proc, status int) {
-	if p.state != PAlive {
+	if !p.Alive() {
 		return
 	}
 	k.tracef("pid %d exit status %#x", p.Pid, status)
 	if k.ktEnabled(p) {
 		k.ktExit(p, status)
 	}
-	p.state = PZombie
+	p.setState(PZombie)
 	p.ExitStatus = status
-	k.tableRev++ // liveness changed: snapshots taken before this are stale
+	k.tableRev.Add(1) // liveness changed: snapshots taken before this are stale
 	for _, l := range p.LWPs {
 		l.state = LZombie
 		l.procClaim, l.jobClaim, l.ptraceClaim = false, false, false
@@ -54,7 +54,7 @@ func (k *Kernel) finishExit(p *Proc) {
 	// Reparent children to init. Reparented zombies are reaped immediately,
 	// in the classic style of init.
 	newParent := k.initProc
-	if newParent == p || (newParent != nil && newParent.state != PAlive) {
+	if newParent == p || (newParent != nil && !newParent.Alive()) {
 		newParent = nil
 	}
 	kids := p.Kids
@@ -62,14 +62,17 @@ func (k *Kernel) finishExit(p *Proc) {
 	for _, kid := range kids {
 		kid.Parent = newParent
 		if newParent != nil {
+			kid.ppid.Store(int32(newParent.Pid))
 			newParent.Kids = append(newParent.Kids, kid)
+		} else {
+			kid.ppid.Store(0)
 		}
-		if kid.state == PZombie {
+		if kid.Zombie() {
 			k.reap(kid)
 		}
 	}
 	// Notify the parent.
-	if p.Parent != nil && p.Parent.state == PAlive {
+	if p.Parent != nil && p.Parent.Alive() {
 		parent := p.Parent
 		if parent.Actions[types.SIGCHLD].Handler == SigIGN || parent == k.initProc && !parentWaits(parent) {
 			// SIGCHLD ignored: children do not become zombies.
@@ -95,10 +98,10 @@ func parentWaits(p *Proc) bool {
 
 // reap removes a zombie from the process table.
 func (k *Kernel) reap(p *Proc) {
-	if p.state != PZombie {
+	if p.State() != PZombie {
 		return
 	}
-	p.state = PGone
+	p.setState(PGone)
 	if p.Parent != nil {
 		kids := p.Parent.Kids[:0]
 		for _, q := range p.Parent.Kids {
@@ -118,7 +121,7 @@ func sysWait(k *Kernel, l *LWP) sysResult {
 	}
 	// Zombies first.
 	for _, c := range p.Kids {
-		if c.state == PZombie {
+		if c.Zombie() {
 			pid, status := c.Pid, c.ExitStatus
 			k.reap(c)
 			if addr := l.sysArgs[0]; addr != 0 {
@@ -200,7 +203,6 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 		Umask:     p.Umask,
 		Nice:      p.Nice,
 		Start:     k.clock,
-		state:     PAlive,
 		fds:       map[int]*vfs.File{},
 		ExecVN:    p.ExecVN,
 		ExecPath:  p.ExecPath,
@@ -247,6 +249,17 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 	cl.sysNum = l.sysNum
 	cl.sysEntryDone = true
 	cl.sysRet, cl.sysR1, cl.sysErr = 0, 1, 0
+	// With exit-from-fork traced, the child's stop is established here
+	// rather than at its first scheduling: "both parent and child stop on
+	// exit from fork" must be simultaneously observable. Under SMP the
+	// child would otherwise not be queued (and so not stopped) until a
+	// pass after the debugger has already seen the parent's stop.
+	if child.Trace.Exit.Has(cl.sysNum) {
+		cl.storeSysResult()
+		cl.sysStored = true
+		cl.sysExitDone = true
+		cl.stopEvent(WhySysExit, cl.sysNum)
+	}
 	p.Kids = append(p.Kids, child)
 	p.Usage.ForkedKids++
 	k.addProc(child)
@@ -260,11 +273,10 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 // --- identity and credentials ---
 
 func sysGetpid(k *Kernel, l *LWP) sysResult {
-	ppid := 0
-	if l.Proc.Parent != nil {
-		ppid = l.Proc.Parent.Pid
-	}
-	return ret2(uint32(l.Proc.Pid), uint32(ppid))
+	// The cached ppid (not Parent.Pid) keeps this call process-local in SMP
+	// mode: another CPU may be reparenting our orphaned siblings under the
+	// big lock while we read.
+	return ret2(uint32(l.Proc.Pid), uint32(l.Proc.PPid()))
 }
 
 func sysGetuid(k *Kernel, l *LWP) sysResult {
@@ -393,8 +405,8 @@ func sysKill(k *Kernel, l *LWP) sysResult {
 		return 0
 	}
 	if pid > 0 {
-		t := k.procs[pid]
-		if t == nil || t.state != PAlive {
+		t := k.Proc(pid)
+		if t == nil || !t.Alive() {
 			return rerr(ESRCH)
 		}
 		if e := send(t); e != 0 {
@@ -405,7 +417,7 @@ func sysKill(k *Kernel, l *LWP) sysResult {
 	// pid 0: the sender's process group.
 	found := false
 	for _, t := range k.Procs() {
-		if t.state == PAlive && t.Pgrp == p.Pgrp && !t.System {
+		if t.Alive() && t.Pgrp == p.Pgrp && !t.System {
 			found = true
 			send(t)
 		}
@@ -480,6 +492,7 @@ func sysBrk(k *Kernel, l *LWP) sysResult {
 	if err := l.CPU.AS.Brk(l.sysArgs[0]); err != nil {
 		return rerr(ENOMEM)
 	}
+	k.shootdown(l.CPU.AS)
 	return ret(0)
 }
 
@@ -511,6 +524,7 @@ func sysMmap(k *Kernel, l *LWP) sysResult {
 	if err != nil {
 		return rerr(ENOMEM)
 	}
+	k.shootdown(l.CPU.AS)
 	return ret(seg.Base)
 }
 
@@ -518,6 +532,7 @@ func sysMunmap(k *Kernel, l *LWP) sysResult {
 	if err := l.CPU.AS.Unmap(l.sysArgs[0], l.sysArgs[1]); err != nil {
 		return rerr(EINVAL)
 	}
+	k.shootdown(l.CPU.AS)
 	return ret(0)
 }
 
@@ -525,6 +540,7 @@ func sysMprotect(k *Kernel, l *LWP) sysResult {
 	if err := l.CPU.AS.Mprotect(l.sysArgs[0], l.sysArgs[1], mem.Prot(l.sysArgs[2]&7)); err != nil {
 		return rerr(EACCES)
 	}
+	k.shootdown(l.CPU.AS)
 	return ret(0)
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -128,7 +130,22 @@ type Stats struct {
 
 // AS is a process address space: an ordered set of non-overlapping mappings
 // plus the watchpoint list and page-event statistics.
+//
+// Locking: mu is the per-address-space lock. Every exported mutator (Map,
+// Unmap, Mprotect, Brk, Dup, the watchpoint setters) and every exported
+// multi-step access path (CheckAccess, ReadAt, WriteAt, AccessRead,
+// AccessFetch, AccessWrite, PageFrame) takes it; unexported helpers assume
+// it is held. This is what lets an SMP kernel run one process's user code
+// (whose vCPU slow path lands here) concurrently with another CPU mutating
+// the same space through a /proc write or a vfork sibling's brk — without a
+// global memory lock. The TLB fast path never takes mu: it revalidates each
+// cached frame against the atomic generation (Gen) and the backing object's
+// revision instead. Read-only reporting views (Segs, SegsView, FindSeg,
+// VirtSize, MapString, Watches) stay lock-free; they are only called from
+// contexts already serialized against mutation of that space (the owning
+// process's own syscalls, or a kernel that has quiesced the target).
 type AS struct {
+	mu       sync.Mutex
 	pagesize uint32
 	segs     []*Seg // sorted by Base
 	stack    *Seg   // the mapping grown automatically (initial program stack)
@@ -140,8 +157,8 @@ type AS struct {
 	refs     int // vfork sharing count
 	owner    int // pid charged for fault-injection hits (0: unattributed)
 
-	gen  uint64 // translation generation (see frame.go)
-	zero []byte // shared read-only zero page for unmaterialized anon reads
+	gen  atomic.Uint64 // translation generation (see frame.go)
+	zero []byte        // shared read-only zero page for unmaterialized anon reads
 }
 
 // DefaultPageSize is the page size used unless overridden; "a small multiple
@@ -234,6 +251,8 @@ func (as *AS) Map(a MapArgs) (*Seg, error) {
 	if siteFaultMap.Hit(as.owner) {
 		return nil, ErrNoMem
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	length := as.roundUp(uint64(a.Len))
 	if length > 1<<32 {
 		return nil, fmt.Errorf("mem: mapping too large")
@@ -315,6 +334,8 @@ func (as *AS) Unmap(base, length uint32) error {
 	if length == 0 {
 		return nil
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	lo := uint64(as.pageBase(base))
 	hi := as.roundUp(uint64(base) + uint64(length))
 	var out []*Seg
@@ -366,6 +387,8 @@ func (as *AS) Mprotect(base, length uint32, prot Prot) error {
 	if length == 0 {
 		return nil
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	lo := uint64(as.pageBase(base))
 	hi := as.roundUp(uint64(base) + uint64(length))
 	// Verify full coverage and MaxProt first so the operation is atomic.
@@ -441,6 +464,8 @@ func (as *AS) BrkSeg() *Seg { return as.brk }
 // Brk grows or shrinks the break mapping so that it ends at newEnd.
 // It implements the brk(2) system call's effect on the address space.
 func (as *AS) Brk(newEnd uint32) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	s := as.brk
 	if s == nil {
 		return fmt.Errorf("mem: no break mapping")
@@ -506,6 +531,8 @@ func (as *AS) tryGrowStack(addr uint32) bool {
 // Dup returns a copy of the address space for fork(2): mappings are copied,
 // shared mappings alias the same objects, and private pages are duplicated.
 func (as *AS) Dup() *AS {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	n := NewAS(int(as.pagesize))
 	n.stackLim = as.stackLim
 	for _, s := range as.segs {

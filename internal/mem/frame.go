@@ -66,6 +66,8 @@ type Frame struct {
 // allocation of the shared zero page: it never grows the stack, never
 // materializes a page, and never counts a fault.
 func (as *AS) PageFrame(addr uint32) (Frame, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	pb := as.pageBase(addr)
 	s := as.FindSeg(pb)
 	if s == nil || s.Shared || as.watchPgs[pb] {
@@ -121,10 +123,14 @@ func (as *AS) PageFrame(addr uint32) (Frame, bool) {
 // Gen returns the address space's translation generation: it changes every
 // time a cached page translation could have become stale. Caches must
 // revalidate against it (and against the AS identity itself) before every
-// use of a cached frame.
-func (as *AS) Gen() uint64 { return as.gen }
+// use of a cached frame. The counter is atomic so a vCPU running on one
+// host CPU observes a bump made by a mutator on another without taking the
+// address-space lock — this is the cross-CPU TLB shootdown generation: a
+// per-access load of Gen makes every remote invalidation visible before the
+// next cached translation is used.
+func (as *AS) Gen() uint64 { return as.gen.Load() }
 
 // invalidate bumps the translation generation. Every mutation of mapping
 // state — addresses, lengths, permissions, watchpoints, or which backing
 // store a page resolves to — must pass through here.
-func (as *AS) invalidate() { as.gen++ }
+func (as *AS) invalidate() { as.gen.Add(1) }

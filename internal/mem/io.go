@@ -18,6 +18,13 @@ var ErrNotMapped = errors.New("mem: address not mapped")
 // watchpoint. References to unwatched data that happen to fall in the same
 // page as watched data are recovered transparently (and counted).
 func (as *AS) CheckAccess(addr uint32, n int, want Prot) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.checkAccess(addr, n, want)
+}
+
+// checkAccess is CheckAccess with the address-space lock held.
+func (as *AS) checkAccess(addr uint32, n int, want Prot) error {
 	if n <= 0 {
 		return nil
 	}
@@ -52,6 +59,13 @@ func (as *AS) CheckAccess(addr uint32, n int, want Prot) error {
 // boundary. Reads are permitted regardless of mapping permissions (the
 // controlling process may inspect read-protected memory).
 func (as *AS) ReadAt(p []byte, off int64) (int, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.readAt(p, off)
+}
+
+// readAt is ReadAt with the address-space lock held.
+func (as *AS) readAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -89,6 +103,13 @@ func (as *AS) ReadAt(p []byte, off int64) (int, error) {
 // CheckAccess first, while the /proc path deliberately bypasses them so a
 // controlling process can plant breakpoints in read/exec text.
 func (as *AS) WriteAt(p []byte, off int64) (int, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.writeAt(p, off)
+}
+
+// writeAt is WriteAt with the address-space lock held.
+func (as *AS) writeAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -156,12 +177,16 @@ func (as *AS) crossesPage(addr uint32, n int) bool {
 // single segment walk. It is the vCPU's slow path; the TLB hit path skips
 // even this.
 func (as *AS) AccessRead(addr uint32, p []byte) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	return as.accessCopy(addr, p, ProtRead)
 }
 
 // AccessFetch is AccessRead with execute permission: an instruction fetch.
 // Like CheckAccess with ProtExec, it does not trigger watchpoints.
 func (as *AS) AccessFetch(addr uint32, p []byte) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	return as.accessCopy(addr, p, ProtExec)
 }
 
@@ -175,10 +200,10 @@ func (as *AS) accessCopy(addr uint32, p []byte, want Prot) error {
 	}
 	if as.crossesPage(addr, n) {
 		// Page-crossing accesses take the general two-pass path.
-		if err := as.CheckAccess(addr, n, want); err != nil {
+		if err := as.checkAccess(addr, n, want); err != nil {
 			return err
 		}
-		_, err := as.ReadAt(p, int64(addr))
+		_, err := as.readAt(p, int64(addr))
 		return err
 	}
 	s, err := as.accessSeg(addr, n, want)
@@ -196,14 +221,16 @@ func (as *AS) AccessWrite(addr uint32, p []byte) error {
 	if n == 0 {
 		return nil
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	if uint64(addr)+uint64(n) > 1<<32 {
 		return &AccessError{Addr: addr, Fault: types.FLTBOUNDS}
 	}
 	if as.crossesPage(addr, n) {
-		if err := as.CheckAccess(addr, n, ProtWrite); err != nil {
+		if err := as.checkAccess(addr, n, ProtWrite); err != nil {
 			return err
 		}
-		_, err := as.WriteAt(p, int64(addr))
+		_, err := as.writeAt(p, int64(addr))
 		return err
 	}
 	s, err := as.accessSeg(addr, n, ProtWrite)

@@ -32,6 +32,8 @@ func (as *AS) SetWatch(addr, length uint32, mode Prot) {
 	if length == 0 || mode&(ProtRead|ProtWrite) == 0 {
 		return
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	as.watches = append(as.watches, Watch{Addr: addr, Len: length, Mode: mode})
 	as.rebuildWatchPages()
 }
@@ -40,6 +42,8 @@ func (as *AS) SetWatch(addr, length uint32, mode Prot) {
 // slice rather than filtering in place so that a WatchesView taken before
 // the clear keeps describing the pre-clear state.
 func (as *AS) ClearWatch(addr uint32) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	var out []Watch
 	for _, w := range as.watches {
 		if w.Addr != addr {
@@ -52,6 +56,8 @@ func (as *AS) ClearWatch(addr uint32) {
 
 // ClearAllWatches removes every watchpoint.
 func (as *AS) ClearAllWatches() {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	as.watches = nil
 	as.rebuildWatchPages()
 }

@@ -1,0 +1,26 @@
+package procfs
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// CanOpen is THE /proc visibility rule, shared by every path that exposes a
+// process: per-pid open in the flat /proc (ProcVnode.VOpen), per-pid open in
+// the restructured /procx, and the batched snapshot (PIOCSNAP and the
+// /procx/snapshot file). Permission is more restrictive than traditional
+// file permissions: both the effective uid and gid of the controlling
+// process must match the real uid and gid of the traced process, a process
+// that has done a set-id exec is visible only to the super-user, and the
+// super-user sees everything. Keeping one predicate guarantees the batched
+// path can never reveal a process the per-pid path would refuse — the two
+// used to drift because each carried its own copy.
+func CanOpen(p *kernel.Proc, c types.Cred) bool {
+	if c.IsSuper() {
+		return true
+	}
+	if p.SugidDirty {
+		return false
+	}
+	return c.EUID == p.Cred.RUID && c.EGID == p.Cred.RGID
+}

@@ -1,0 +1,85 @@
+package procfs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// TestVisibilityMatrix pins the contract of the shared CanOpen predicate:
+// for every (credential, process) pair, the batched snapshot shows a
+// process exactly when the per-pid open succeeds — on both the flat /proc
+// and the restructured /procx. The three paths used to carry private copies
+// of the rule; this matrix is what keeps them from drifting again.
+func TestVisibilityMatrix(t *testing.T) {
+	s := repro.NewSystem(repro.Options{NCPU: 1})
+	spin := `
+loop:	movi r0, SYS_yield
+	syscall
+	jmp loop
+`
+	a, err := s.SpawnProg("a", spin, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SpawnProg("b", spin, types.UserCred(200, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := s.SpawnProg("sg", spin, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A process that has done a set-id exec: super-user only.
+	sg.SugidDirty = true
+	s.Run(3)
+
+	creds := []types.Cred{
+		types.RootCred(),
+		types.UserCred(100, 10), // matches a and sg (but sg is set-id)
+		types.UserCred(100, 20), // uid of a, wrong gid
+		types.UserCred(200, 20), // matches b
+		types.UserCred(300, 30), // matches nothing
+	}
+	targets := []int{a.Pid, b.Pid, sg.Pid}
+
+	for _, c := range creds {
+		c := c
+		snap := &procfs.PrSnap{}
+		if err := procfs.Snapshot(s.K, c, snap); err != nil {
+			t.Fatalf("cred %v: snapshot: %v", c, err)
+		}
+		inSnap := map[int]bool{}
+		for _, rec := range snap.Procs {
+			inSnap[rec.Info.Pid] = true
+		}
+		cl := s.Client(c)
+		for _, pid := range targets {
+			want := inSnap[pid]
+
+			_, err := cl.Open("/proc/"+procfs.PidName(pid), vfs.ORead)
+			flatOK := err == nil
+			if err != nil && err != vfs.ErrPerm {
+				t.Fatalf("cred %v pid %d: flat open: %v", c, pid, err)
+			}
+			if flatOK != want {
+				t.Errorf("cred %v pid %d: flat /proc open = %v, snapshot visible = %v",
+					c, pid, flatOK, want)
+			}
+
+			_, err = cl.ReadFile(fmt.Sprintf("/procx/%05d/psinfo", pid))
+			xOK := err == nil
+			if err != nil && err != vfs.ErrPerm {
+				t.Fatalf("cred %v pid %d: /procx read: %v", c, pid, err)
+			}
+			if xOK != want {
+				t.Errorf("cred %v pid %d: /procx open = %v, snapshot visible = %v",
+					c, pid, xOK, want)
+			}
+		}
+	}
+}

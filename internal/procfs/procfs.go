@@ -124,13 +124,8 @@ func (v *ProcVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 	if p.State() == kernel.PGone {
 		return nil, vfs.ErrNotExist
 	}
-	if !c.IsSuper() {
-		if p.SugidDirty {
-			return nil, vfs.ErrPerm
-		}
-		if c.EUID != p.Cred.RUID || c.EGID != p.Cred.RGID {
-			return nil, vfs.ErrPerm
-		}
+	if !CanOpen(p, c) {
+		return nil, vfs.ErrPerm
 	}
 	writer := flags&vfs.OWrite != 0
 	if writer {

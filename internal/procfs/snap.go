@@ -35,15 +35,9 @@ type PrSnap struct {
 
 // canSee applies the /proc open permission rule to a snapshot record: the
 // batched path must never reveal a process the per-pid path would have
-// refused to open.
+// refused to open. It is the shared CanOpen predicate, by construction.
 func canSee(p *kernel.Proc, c types.Cred) bool {
-	if c.IsSuper() {
-		return true
-	}
-	if p.SugidDirty {
-		return false
-	}
-	return c.EUID == p.Cred.RUID && c.EGID == p.Cred.RGID
+	return CanOpen(p, c)
 }
 
 // Snapshot implements PIOCSNAP: walk the process table once, under the

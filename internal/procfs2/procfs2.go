@@ -45,17 +45,12 @@ const (
 	FileLWPCtl    = "lwpctl"
 )
 
-// checkOpen enforces the /proc security rule: uid and gid of the traced
-// process must match the controlling process; set-id processes require the
-// super-user.
+// checkOpen enforces the /proc security rule via the predicate shared with
+// the flat /proc and the batched snapshot (procfs.CanOpen): uid and gid of
+// the traced process must match the controlling process; set-id processes
+// require the super-user.
 func checkOpen(p *kernel.Proc, c types.Cred) error {
-	if c.IsSuper() {
-		return nil
-	}
-	if p.SugidDirty {
-		return vfs.ErrPerm
-	}
-	if c.EUID != p.Cred.RUID || c.EGID != p.Cred.RGID {
+	if !procfs.CanOpen(p, c) {
 		return vfs.ErrPerm
 	}
 	return nil

@@ -39,6 +39,9 @@ func TestWorkloadDeterminism(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cfg := smokeConfig(name)
 			cfg.Seed = 42
+			// Bit-identical replay is a deterministic-scheduler contract;
+			// pin it so REPRO_NCPU in the environment cannot break it.
+			cfg.NCPU = 1
 			// Modest capacity: EnableKTraceAll gives every process a ring of
 			// this size, and the storm scenarios create hundreds of them.
 			cfg.TraceCap = 1 << 16

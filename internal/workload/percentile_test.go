@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileExact pins the nearest-rank index arithmetic at small
+// sample counts, where an off-by-one in the rounding is the whole answer:
+// rank = round(p*n) - 1, clamped to the slice. Each case is hand-computed
+// from a known distribution.
+func TestPercentileExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []int64
+		p      float64
+		want   float64
+	}{
+		// n=1: every percentile is the sample.
+		{"n1-p50", []int64{7}, 0.50, 7},
+		{"n1-p99", []int64{7}, 0.99, 7},
+		// n=2: round(0.5*2)=1 → first; round(0.95*2)=2 → second.
+		{"n2-p50", []int64{10, 20}, 0.50, 10},
+		{"n2-p95", []int64{10, 20}, 0.95, 20},
+		// n=4 over 10..40: round(2.0)=2 → 20; round(3.8)=4 → 40.
+		{"n4-p50", []int64{10, 20, 30, 40}, 0.50, 20},
+		{"n4-p95", []int64{10, 20, 30, 40}, 0.95, 40},
+		{"n4-p99", []int64{10, 20, 30, 40}, 0.99, 40},
+		// n=5: round(2.5)=3 → the true median 30.
+		{"n5-p50", []int64{10, 20, 30, 40, 50}, 0.50, 30},
+		// n=10: round(5.0)=5 → 50; round(9.5)=10 → 100; round(9.9)=10.
+		{"n10-p50", []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 0.50, 50},
+		{"n10-p95", []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 0.95, 100},
+		{"n10-p99", []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 0.99, 100},
+		// n=20: round(19.0)=19 → 19th value; p99 → 20th.
+		{"n20-p95", ramp(20), 0.95, 19},
+		{"n20-p99", ramp(20), 0.99, 20},
+		// n=100 over 1..100: the ranks are the percentiles themselves.
+		{"n100-p50", ramp(100), 0.50, 50},
+		{"n100-p95", ramp(100), 0.95, 95},
+		{"n100-p99", ramp(100), 0.99, 99},
+		// Empty distribution reports zero rather than faulting.
+		{"n0", nil, 0.50, 0},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v",
+				tc.name, tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+// ramp returns [1, 2, ..., n].
+func ramp(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// TestHistResult pins the full Result fill from unsorted samples: the sort,
+// the exact percentile picks, max, mean, and the ops/sec rate.
+func TestHistResult(t *testing.T) {
+	h := &hist{}
+	for _, v := range []int64{40, 10, 30, 20} { // deliberately unsorted
+		h.record(v)
+	}
+	res := h.result("t", 2*time.Second)
+	if res.Ops != 4 {
+		t.Fatalf("Ops = %d, want 4", res.Ops)
+	}
+	if res.P50Ns != 20 || res.P95Ns != 40 || res.P99Ns != 40 || res.MaxNs != 40 {
+		t.Fatalf("p50/p95/p99/max = %v/%v/%v/%v, want 20/40/40/40",
+			res.P50Ns, res.P95Ns, res.P99Ns, res.MaxNs)
+	}
+	if res.MeanNs != 25 {
+		t.Fatalf("MeanNs = %v, want 25", res.MeanNs)
+	}
+	if res.OpsPerSec != 2 {
+		t.Fatalf("OpsPerSec = %v, want 2", res.OpsPerSec)
+	}
+}

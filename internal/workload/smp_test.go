@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestWorkloadSMPSmoke runs every scenario on the SMP scheduler at NCPU=4
+// and checks two things the deterministic smoke cannot: the scenarios
+// complete correctly when scheduling passes fan out to worker goroutines
+// (make verify-smp runs this under the race detector), and the workers do
+// not leak — they are spawned per pass and joined, so the goroutine count
+// must return to its baseline after every run.
+func TestWorkloadSMPSmoke(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := smokeConfig(name)
+			cfg.NCPU = 4
+			res, s, err := Run(name, cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got := s.K.NCPU(); got != 4 {
+				t.Fatalf("NCPU() = %d, want 4", got)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations measured")
+			}
+			if !(res.P50Ns <= res.P95Ns && res.P95Ns <= res.P99Ns && res.P99Ns <= res.MaxNs) {
+				t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v max=%v",
+					res.P50Ns, res.P95Ns, res.P99Ns, res.MaxNs)
+			}
+		})
+	}
+	// Workers are joined per pass; nothing may linger. Allow the runtime a
+	// moment to retire already-finished goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutine leak: %d running, baseline %d", got, base)
+	}
+}

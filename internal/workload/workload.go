@@ -30,6 +30,10 @@ type Config struct {
 	Procs    int   // population size, where the scenario has one
 	Legacy   bool  // proc_scan: per-pid /proc sweeps instead of PIOCSNAP
 	TraceCap int   // when >0, enable kernel-wide ktrace with this capacity
+	// NCPU selects the scheduler: 0 or 1 the deterministic one (1 pins it
+	// against REPRO_NCPU), above 1 the SMP scheduler. Runs above 1 are
+	// not bit-replayable — scheduling order depends on goroutine timing.
+	NCPU int
 }
 
 // Result is one scenario's report: the latency distribution over its
@@ -89,7 +93,7 @@ func Run(name string, cfg Config) (Result, *repro.System, error) {
 	if !ok {
 		return Result{}, nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
 	}
-	s := repro.NewSystem()
+	s := repro.NewSystem(repro.Options{NCPU: cfg.NCPU})
 	if cfg.TraceCap > 0 {
 		s.K.EnableKTraceAll(cfg.TraceCap)
 	}

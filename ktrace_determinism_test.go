@@ -63,7 +63,7 @@ func readProcFile(t *testing.T, s *repro.System, path string) []byte {
 // it.
 func TestKTraceDeterminism(t *testing.T) {
 	run := func() (perproc, global, stats []byte) {
-		s := repro.NewSystem()
+		s := repro.NewSystem(repro.Options{NCPU: 1}) // bit-for-bit replay: pin the deterministic scheduler
 		s.K.EnableKTraceAll(1 << 20)
 		if err := s.Install("/bin/family", familyProg, 0o755, 0, 0); err != nil {
 			t.Fatal(err)

@@ -58,6 +58,11 @@ type Options struct {
 	PageSize int  // address space page size (default 4096)
 	Quantum  int  // scheduler quantum in instructions (default 50)
 	NoInit   bool // skip spawning init (pid numbering then starts at 1)
+	// NCPU is the number of scheduler CPUs: 0 or 1 is the deterministic
+	// single-threaded scheduler; above 1 enables the SMP scheduler with
+	// per-CPU run queues. 1 pins deterministic mode even when REPRO_NCPU
+	// is set in the environment.
+	NCPU int
 }
 
 // NewSystem boots a machine: a memfs root with the conventional directories,
@@ -76,7 +81,7 @@ func NewSystem(opts ...Options) *System {
 		return k.Now()
 	})
 	ns := vfs.NewNS(fs.Root())
-	k = kernel.New(ns, kernel.Config{PageSize: o.PageSize, Quantum: o.Quantum})
+	k = kernel.New(ns, kernel.Config{PageSize: o.PageSize, Quantum: o.Quantum, NCPU: o.NCPU})
 	for _, dir := range []string{"/bin", "/lib", "/etc", "/tmp", "/proc", "/procx"} {
 		fs.MkdirAll(dir, 0o755)
 	}

@@ -1,0 +1,130 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/types"
+)
+
+// TestSMPForkWaitSignal boots the SMP scheduler and runs several process
+// families concurrently: each forks twice, one child sleeps and exits, one
+// dies on a division fault, and the parent reaps both. This crosses every
+// big-lock path at once — fork, wait, sleep/wake, fault-to-signal delivery,
+// exit and reaping — with families spread across four CPUs.
+func TestSMPForkWaitSignal(t *testing.T) {
+	s := repro.NewSystem(repro.Options{NCPU: 4})
+	const family = `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_sleep	; first child naps then exits
+	movi r1, 20
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_fork	; second child crashes
+	syscall
+	cmpi r0, 0
+	jne reap
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+reap:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 7
+	syscall
+`
+	var parents []*kernel.Proc
+	for i := 0; i < 6; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("fam%d", i), family, types.UserCred(100, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, p)
+	}
+	for _, p := range parents {
+		status, err := s.WaitExit(p)
+		if err != nil {
+			t.Fatalf("pid %d: %v", p.Pid, err)
+		}
+		if ok, code := kernel.WIfExited(status); !ok || code != 7 {
+			t.Fatalf("pid %d: status %#x, want clean exit 7", p.Pid, status)
+		}
+	}
+	// Everything reaped: only init and the system processes remain alive.
+	for _, p := range s.K.Procs() {
+		if p.Alive() && !p.System && p.Pid != 1 {
+			t.Fatalf("pid %d (%s) still alive after the storm", p.Pid, p.Comm)
+		}
+	}
+}
+
+// TestSMPBrkShootdown drives the remap path under SMP: a fleet of processes
+// that repeatedly grow and shrink their break while their siblings run user
+// code on other CPUs. Every brk bumps the address-space generation and runs
+// the cross-CPU shootdown barrier; the programs verify their own memory
+// after each move, so a stale translation surviving a shootdown shows up as
+// a wrong value and a non-zero exit.
+func TestSMPBrkShootdown(t *testing.T) {
+	s := repro.NewSystem(repro.Options{NCPU: 4})
+	const grower = `
+	la r6, heap
+	movi r7, 30		; iterations
+loop:	movi r0, SYS_brk
+	mov r1, r6
+	addi r1, 8192
+	syscall			; grow the break two pages past heap
+	mov r2, r6
+	addi r2, 4096		; a page inside the growth
+	movi r3, 99
+	st r3, [r2]		; write through the fresh mapping
+	ld r4, [r2]
+	sub r4, r3
+	cmpi r4, 0
+	jne bad			; value did not round-trip
+	movi r0, SYS_brk
+	mov r1, r6
+	syscall			; shrink back: pages dropped, generation bumped
+	movi r5, 1
+	sub r7, r5
+	cmpi r7, 0
+	jgt loop
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+bad:	movi r0, SYS_exit
+	movi r1, 1
+	syscall
+.bss
+heap:	.space 8
+`
+	var procs []*kernel.Proc
+	for i := 0; i < 5; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("grow%d", i), grower, types.UserCred(100, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	for _, p := range procs {
+		status, err := s.WaitExit(p)
+		if err != nil {
+			t.Fatalf("pid %d: %v", p.Pid, err)
+		}
+		if ok, code := kernel.WIfExited(status); !ok || code != 0 {
+			t.Fatalf("pid %d: status %#x — stale translation after shootdown", p.Pid, status)
+		}
+	}
+}
