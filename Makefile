@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7 bench-json-pr8
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,12 @@ vet:
 	$(GO) vet ./...
 
 # bench-smoke proves the pipelined-RFS benchmark still runs (one iteration,
-# no timing claims) so a protocol change cannot silently rot it.
+# no timing claims) so a protocol change cannot silently rot it, and pins
+# the SMP scheduler's per-pass allocation budget (steady-state passes must
+# not allocate; see TestSMPStepAllocBudget).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRFSPipelined' -benchtime 1x .
+	$(GO) test -count=1 -run 'TestSMPStepAllocBudget' .
 
 # bench-json records the key memory-pipeline and /proc benchmarks as JSON:
 # one run under the NoTLB reference interpreter labeled "before", one with
@@ -59,13 +62,21 @@ bench-json-pr6:
 
 # verify-smp exercises the SMP scheduler under the race detector: the
 # shootdown-barrier mechanics, the fork/wait/signal storm and brk-shootdown
-# programs at NCPU=4, and every workload scenario at NCPU=4 with the
-# per-pass worker goroutine-leak check. GOMAXPROCS is forced up so worker
-# goroutines genuinely interleave even on small hosts.
+# programs at NCPU=4, every workload scenario at NCPU=4 with the worker
+# goroutine-leak check, host-side /proc controllers racing the scheduler,
+# and the mutex-contention profile smoke (the global lock's share of
+# sampled wait time stays under budget). The kernel and SMP suites then
+# run again under -tags lockdebug, which panics on any out-of-order lock
+# acquisition. GOMAXPROCS is forced up so worker goroutines genuinely
+# interleave even on small hosts.
 verify-smp:
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestShootdownBarrier|TestDeterministicModeHasNoSMP' ./internal/kernel/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSMP' .
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestWorkloadSMPSmoke' ./internal/workload/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestConcurrentControllers' ./internal/procfs/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSMPMutexContentionSmoke' .
+	GOMAXPROCS=4 $(GO) test -tags lockdebug -count=1 ./internal/kernel/
+	GOMAXPROCS=4 $(GO) test -tags lockdebug -count=1 -run 'TestSMP|TestConcurrentControllers' . ./internal/procfs/
 
 # bench-json-pr7 records the SMP scaling numbers as BENCH_PR7.json: the
 # KernelStep scaling curve across NCPU=1/2/4/8 (host_cpus records how many
@@ -75,6 +86,17 @@ bench-json-pr7:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStepSMP' -label after -o BENCH_PR7.json
 	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -label det -o BENCH_PR7.json
 	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -ncpu 4 -label smp4 -o BENCH_PR7.json
+
+# bench-json-pr8 records the fine-grained-locking rework as BENCH_PR8.json:
+# the KernelStepSMP scaling curve (allocs/op must stay within the per-pass
+# budget at every width; host_cpus and gomaxprocs record what the host
+# could actually parallelize) and the fork_storm / syscall_mill scenarios
+# at NCPU=4. The "before"/"before-smp4" labels in the same file were
+# recorded at the big-kernel-lock parent commit; compare against
+# "after"/"after-smp4".
+bench-json-pr8:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStepSMP' -label after -o BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -ncpu 4 -label after-smp4 -o BENCH_PR8.json
 
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
 # the fault-matrix smoke, the workload smoke, the SMP race suite, and the

@@ -864,14 +864,17 @@ func BenchmarkKernelStepSMP(b *testing.B) {
 	for _, n := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("ncpu=%d", n), func(b *testing.B) {
 			s := repro.NewSystem(repro.Options{NCPU: n})
+			defer s.Close()
 			for i := 0; i < 32; i++ {
 				spawnBench(b, s, fmt.Sprintf("spin%d", i), benchSpin)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Step()
 			}
 			b.ReportMetric(float64(runtime.NumCPU()), "host_cpus")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})
 	}
 }

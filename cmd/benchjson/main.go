@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -98,6 +99,42 @@ func toResult(res workload.Result) Result {
 	}
 }
 
+// annotateHost stamps a result with the execution environment — host CPU
+// count, GOMAXPROCS and (when SMP) the simulated CPU count — so a scaling
+// curve recorded on one machine is interpretable on another.
+func annotateHost(r *Result, ncpu int) {
+	if r.Extra == nil {
+		r.Extra = make(map[string]float64)
+	}
+	r.Extra["host_cpus"] = float64(runtime.NumCPU())
+	r.Extra["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+	if ncpu > 1 {
+		r.Extra["ncpu"] = float64(ncpu)
+	}
+}
+
+// runOne executes one scenario, closing the booted system (the SMP
+// scheduler parks persistent workers that must be retired) and measuring
+// host allocations per operation across the run.
+func runOne(name string, cfg workload.Config) (Result, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, s, err := workload.Run(name, cfg)
+	runtime.ReadMemStats(&m1)
+	if s != nil {
+		s.Close()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	r := toResult(res)
+	if res.Ops > 0 {
+		r.AllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / int64(res.Ops)
+	}
+	annotateHost(&r, cfg.NCPU)
+	return r, nil
+}
+
 // runWorkloads executes every scenario matching the pattern and returns the
 // keyed results. The /proc scan runs in both modes under distinct keys; the
 // batched-vs-legacy margin is the whole point of recording it.
@@ -115,30 +152,34 @@ func runWorkloads(pattern string, cfg workload.Config) (map[string]Result, error
 			for _, mode := range []string{"batched", "legacy"} {
 				mcfg := cfg
 				mcfg.Legacy = mode == "legacy"
-				res, _, err := workload.Run(name, mcfg)
+				r, err := runOne(name, mcfg)
 				if err != nil {
 					return nil, err
 				}
 				key := "Workload/" + name + "/" + mode
-				results[key] = toResult(res)
-				fmt.Printf("%-40s %6d ops  mean %12.0f ns  p50 %12.0f  p95 %12.0f  p99 %12.0f  %8.1f ops/s\n",
-					key, res.Ops, res.MeanNs, res.P50Ns, res.P95Ns, res.P99Ns, res.OpsPerSec)
+				results[key] = r
+				printWorkload(key, r)
 			}
 			continue
 		}
-		res, _, err := workload.Run(name, cfg)
+		r, err := runOne(name, cfg)
 		if err != nil {
 			return nil, err
 		}
 		key := "Workload/" + name
-		results[key] = toResult(res)
-		fmt.Printf("%-40s %6d ops  mean %12.0f ns  p50 %12.0f  p95 %12.0f  p99 %12.0f  %8.1f ops/s\n",
-			key, res.Ops, res.MeanNs, res.P50Ns, res.P95Ns, res.P99Ns, res.OpsPerSec)
+		results[key] = r
+		printWorkload(key, r)
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no scenario matches %q (have %v)", pattern, workload.Names())
 	}
 	return results, nil
+}
+
+func printWorkload(key string, r Result) {
+	fmt.Printf("%-40s %6d ops  mean %12.0f ns  p50 %12.0f  p95 %12.0f  p99 %12.0f  %8.1f ops/s  %d allocs/op\n",
+		key, r.Iterations, r.NsPerOp, r.Extra["p50_ns"], r.Extra["p95_ns"], r.Extra["p99_ns"],
+		r.Extra["ops_per_s"], r.AllocsPerOp)
 }
 
 func main() {
@@ -183,6 +224,10 @@ func main() {
 		if len(results) == 0 {
 			fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
 			os.Exit(1)
+		}
+		for k, r := range results {
+			annotateHost(&r, *ncpu)
+			results[k] = r
 		}
 	}
 	if *out == "" {

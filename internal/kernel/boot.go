@@ -34,7 +34,7 @@ func (k *Kernel) Spawn(path string, args []string, cred types.Cred, parent *Proc
 		Cred:   cred.Clone(),
 		CWD:    "/",
 		Umask:  0o22,
-		Start:  k.clock,
+		Start:  k.Now(),
 		fds:    map[int]*vfs.File{},
 	}
 	if parent != nil {

@@ -97,7 +97,8 @@ func (k *Kernel) execProc(l *LWP, path string, args []string) sysResult {
 	// exec single-threads the process.
 	for _, sib := range p.LWPs {
 		if sib != l {
-			sib.state = LZombie
+			sib.forgetSleep()
+			sib.setSchedState(LZombie)
 		}
 	}
 	old := p.AS

@@ -64,7 +64,13 @@ type Kernel struct {
 	Quantum  int
 	NoTLB    bool
 
+	// clock is the simulated time in deterministic mode: a plain counter
+	// bumped per instruction on the hot path. In SMP mode time lives in
+	// clockA instead (workers fold their tick deltas in atomically, under
+	// only the per-process lock); Now() reads whichever applies, so the
+	// deterministic scheduler pays no atomic per instruction.
 	clock   int64
+	clockA  atomic.Int64
 	pids    [pidShards]pidShard // sharded pid map
 	order   []*Proc             // scheduling and readdir order
 	orderMu sync.RWMutex        // guards order for host-side readers (Procs)
@@ -72,12 +78,33 @@ type Kernel struct {
 	rrIndex  int           // round-robin position (deterministic scheduler)
 	tableRev atomic.Uint64 // bumped on every process-table change (fork, exit, reap)
 
-	// SMP mode (Config.NCPU > 1). big is the "big kernel lock": every
-	// kernel phase that touches cross-process state runs under it; user
-	// instruction stepping and a handful of process-local system calls do
-	// not. nil smp means the deterministic single-threaded scheduler.
-	smp *smpState
-	big sync.Mutex
+	// SMP mode (Config.NCPU > 1). nil smp means the deterministic
+	// single-threaded scheduler and none of the locks below are ever taken.
+	//
+	// The locking hierarchy (outermost first; see INTERNALS.md for the
+	// field-by-field table):
+	//
+	//   1. global — the narrow global kernel lock: fork/exit/reap, exec,
+	//      wait, cross-process signal generation, stop/run control,
+	//      ptrace, /proc control operations, ktrace emission, and the
+	//      Parent/Kids/order relations. Formerly the "big kernel lock";
+	//      process-local system calls no longer take it.
+	//   2. Proc.mu — one process's own state: fd table, credentials,
+	//      signal dispositions and masks, usage counters, address-space
+	//      operations. A global holder may lock any number of Proc.mu
+	//      (the only sanctioned way to hold two); a Proc.mu holder must
+	//      not take global without dropping the proc lock first
+	//      (kcpu.lockGlobal implements that escalation).
+	//   3. sleepMu — the sleep-queue/wait-channel lock: waitq sleeper
+	//      lists and LWP-list membership, so the run-queue claim path can
+	//      collect runnable LWPs without the global lock.
+	//   4. runQueue.mu — one per-CPU run queue's membership and cursor.
+	//
+	// Rank-ordered acquisition is asserted in lockdebug builds
+	// (-tags lockdebug, lockdebug_on.go).
+	smp     *smpState
+	global  sync.Mutex
+	sleepMu sync.Mutex
 
 	initProc *Proc
 	clockQ   waitq // timed sleeps (sleep(2)) block here
@@ -137,12 +164,60 @@ func (k *Kernel) tracef(format string, args ...interface{}) {
 }
 
 // Now returns the simulated clock in ticks.
-func (k *Kernel) Now() int64 { return k.clock }
+func (k *Kernel) Now() int64 {
+	if k.smp != nil {
+		return k.clockA.Load()
+	}
+	return k.clock
+}
+
+// tickClock advances the clock by one, in whichever representation applies.
+func (k *Kernel) tickClock() {
+	if k.smp != nil {
+		k.clockA.Add(1)
+	} else {
+		k.clock++
+	}
+}
 
 // Tick advances the clock without running anything (timers still fire).
 func (k *Kernel) Tick() {
-	k.clock++
+	k.GlobalLock()
+	k.tickClock()
 	k.checkTimers()
+	k.GlobalUnlock()
+}
+
+// GlobalLock acquires the global kernel lock. It is a no-op in
+// deterministic mode, where nothing is concurrent by design; host-side
+// callers (procfs control operations, ptrace controllers) use it to
+// serialize against the SMP workers.
+func (k *Kernel) GlobalLock() {
+	if k.smp != nil {
+		lockOrderAcquire(rankGlobal)
+		k.global.Lock()
+	}
+}
+
+// GlobalUnlock releases the global kernel lock (no-op in deterministic mode).
+func (k *Kernel) GlobalUnlock() {
+	if k.smp != nil {
+		k.global.Unlock()
+		lockOrderRelease(rankGlobal)
+	}
+}
+
+// Shutdown retires the persistent SMP worker goroutines. It must be called
+// from the (single) scheduler-driving goroutine between passes; after it
+// returns, Step panics on the closed channel, so Shutdown ends the kernel's
+// life. Deterministic kernels have no workers and Shutdown is a no-op.
+// It is idempotent.
+func (k *Kernel) Shutdown() {
+	if k.smp == nil || !k.smp.started {
+		return
+	}
+	k.smp.started = false
+	close(k.smp.work)
 }
 
 // pidShardOf returns the shard holding pid.
@@ -215,6 +290,7 @@ func (k *Kernel) addProc(p *Proc) {
 	if p.Pid == 1 {
 		k.initProc = p
 	}
+	k.noteSchedulable(p)
 }
 
 // removeProc drops a fully-reaped process from the tables.
@@ -244,7 +320,7 @@ func (k *Kernel) newSystemProc(pid int, name string) *Proc {
 		System: true,
 		fds:    map[int]*vfs.File{},
 		CWD:    "/",
-		Start:  k.clock,
+		Start:  k.Now(),
 	}
 	k.addProc(p)
 	return p
@@ -336,18 +412,24 @@ func (k *Kernel) RunUntil(cond func() bool, maxSteps int) error {
 }
 
 // checkTimers fires alarm(2) timers that have expired and wakes timed
-// sleepers whose deadline has passed.
+// sleepers whose deadline has passed. Deterministic mode calls it bare; in
+// SMP mode the caller holds the global lock (the pass prologue, Tick), and
+// the per-process lock is taken around signal generation per the PostSignal
+// contract.
 func (k *Kernel) checkTimers() {
+	now := k.Now()
 	for _, p := range k.order {
 		if !p.Alive() {
 			continue
 		}
-		if p.alarmAt != 0 && k.clock >= p.alarmAt {
-			p.alarmAt = 0
+		if at := p.alarmAt.Load(); at != 0 && now >= at {
+			p.alarmAt.Store(0)
+			p.Lock()
 			k.PostSignal(p, sigALRM)
+			p.Unlock()
 		}
 		for _, l := range p.LWPs {
-			if l.sleeping && l.sleepQ == &k.clockQ && l.sleepDeadline != 0 && k.clock >= l.sleepDeadline {
+			if l.sleeping && l.sleepQ == &k.clockQ && l.sleepDeadline != 0 && now >= l.sleepDeadline {
 				l.wake()
 			}
 		}
@@ -359,11 +441,13 @@ func (k *Kernel) checkTimers() {
 // deadlock (Step advances the clock even when nothing runs, so pending
 // timers always fire eventually).
 func (k *Kernel) TimersPending() bool {
+	k.GlobalLock()
+	defer k.GlobalUnlock()
 	for _, p := range k.order {
 		if !p.Alive() {
 			continue
 		}
-		if p.alarmAt != 0 {
+		if p.alarmAt.Load() != 0 {
 			return true
 		}
 		for _, l := range p.LWPs {

@@ -63,7 +63,7 @@ func (p *Proc) SetKTrace(capacity int) {
 // ktEmit stamps and routes one event. Callers guard with ktEnabled so the
 // disabled path never reaches here.
 func (k *Kernel) ktEmit(p *Proc, e *ktrace.Event) {
-	e.Time = k.clock
+	e.Time = k.Now()
 	e.Pid = int32(p.Pid)
 	k.ktStats.Count(e.Kind, e.What)
 	if p.KT != nil {

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ktrace"
@@ -71,8 +72,15 @@ const (
 
 // waitq identifies a sleep channel; LWPs sleeping on it are woken together
 // and retry their system call, in the classic "while (condition) sleep()"
-// style the paper remarks on.
-type waitq struct{ name string }
+// style the paper remarks on. In SMP mode the queue keeps its sleeper list
+// under the kernel's sleep-queue lock (k.sleepMu), so wakeAll touches only
+// the LWPs actually blocked on the channel instead of scanning the process
+// table; the deterministic scheduler keeps the historical full scan, whose
+// wake order the bit-for-bit suites pin.
+type waitq struct {
+	name     string
+	sleepers []*LWP // SMP only; guarded by k.sleepMu
+}
 
 // SigAction is the disposition of one signal.
 type SigAction struct {
@@ -126,6 +134,19 @@ type Usage struct {
 type Proc struct {
 	k *Kernel
 
+	// mu is the per-process lock, rank 2 in the hierarchy (below the
+	// global lock, above the sleep-queue and run-queue locks). It guards
+	// the state only the owning process's system calls and explicitly
+	// locked host inspectors touch: the fd table, credentials, Pgrp,
+	// Umask, Nice, CWD, signal dispositions/masks/pending set, and the
+	// Usage counters (which the per-CPU tick flush folds in under this
+	// lock alone — times/alarm never need the global lock on the hot
+	// path). Never taken in deterministic mode; Lock/Unlock are no-ops
+	// there. A holder of the global lock may take any number of Proc.mu;
+	// a Proc.mu holder must never take the global lock or a second
+	// Proc.mu directly (kcpu.lockGlobal drops and reacquires instead).
+	mu sync.Mutex
+
 	Pid    int
 	Parent *Proc
 	Kids   []*Proc
@@ -165,7 +186,9 @@ type Proc struct {
 	// Signal machinery.
 	SigPend types.SigSet // pending signals (process level)
 	Actions [types.MaxSig + 1]SigAction
-	alarmAt int64
+	// alarmAt is atomic so the timer sweep can scan armed alarms without
+	// taking every process's lock; alarm(2) itself runs under p.mu only.
+	alarmAt atomic.Int64
 
 	// /proc state.
 	Trace TraceState
@@ -195,8 +218,20 @@ type Proc struct {
 	intr atomic.Int32
 	// ppid caches Parent.Pid (0 when no parent) so lock-free process-local
 	// system calls (getpid) can read it while another CPU reparents
-	// orphans under the big lock. Maintained by addProc and finishExit.
+	// orphans under the global lock. Maintained by addProc and finishExit.
 	ppid atomic.Int32
+
+	// nrun counts LWPs in state LRun. The incremental run queues key on
+	// it: a 0→1 transition (wakeup, fork, stop release) enqueues the
+	// process on its home queue, and the claim path skips queue entries
+	// whose count is back to zero. Maintained by setSchedState.
+	nrun atomic.Int32
+	// inQueue marks membership of the home run queue; guarded by that
+	// queue's own mutex (rank 4), not by mu. lastPass is the ordinal of
+	// the scheduling pass that last claimed this process (same guard) —
+	// a process re-woken mid-pass must not be claimed twice in one pass.
+	inQueue  bool
+	lastPass uint64
 
 	waitq  waitq // this process sleeps here in wait(2)
 	pauseQ waitq // this process sleeps here in pause(2)/sigsuspend(2)
@@ -215,10 +250,30 @@ type Sym struct {
 // a current signal, or directing a stop.
 func (p *Proc) noteIntr() { p.intr.Store(1) }
 
+// Lock acquires the per-process lock (rank 2). It is a no-op in
+// deterministic mode. Host-side inspectors (procfs ioctls, snapshots) take
+// it with the global lock already held; the owning process's system calls
+// take it alone.
+func (p *Proc) Lock() {
+	if p.k.smp != nil {
+		lockOrderAcquire(rankProc)
+		p.mu.Lock()
+	}
+}
+
+// Unlock releases the per-process lock (no-op in deterministic mode).
+func (p *Proc) Unlock() {
+	if p.k.smp != nil {
+		p.mu.Unlock()
+		lockOrderRelease(rankProc)
+	}
+}
+
 // clearIntr drops the interrupt nudge if nothing is left to gate on: no
 // pending process-level signal, and no LWP with a directed stop or current
-// signal. Callers must hold the big kernel lock in SMP mode (it races with
-// PostSignal otherwise).
+// signal. Callers hold the global kernel lock in SMP mode; every setter of
+// the fields read here (PostSignal, SetCurSig, DirectStop, ptrace continue)
+// holds it too.
 func (p *Proc) clearIntr() {
 	if !p.SigPend.IsEmpty() {
 		return
@@ -293,9 +348,20 @@ func (p *Proc) VirtSize() int64 {
 func (p *Proc) newLWP() *LWP {
 	p.nextLWPID++
 	l := &LWP{ID: p.nextLWPID, Proc: p, state: LRun}
+	l.stateA.Store(int32(LRun))
+	p.nrun.Add(1)
 	l.CPU.AS = p.AS
 	l.CPU.NoTLB = p.k.NoTLB
+	// The LWP list is walked by the run-queue claim path under only the
+	// sleep-queue lock; membership changes take it too.
+	k := p.k
+	if k.smp != nil {
+		k.sleepMu.Lock()
+	}
 	p.LWPs = append(p.LWPs, l)
+	if k.smp != nil {
+		k.sleepMu.Unlock()
+	}
 	return l
 }
 
@@ -328,7 +394,12 @@ type LWP struct {
 	CPU  vcpu.CPU
 
 	state LState
-	phase phase
+	// stateA mirrors state atomically for the two lock-free readers: the
+	// SMP phase machine's loop-top check and the run-queue claim path.
+	// All writes go through setSchedState (under the global lock in SMP
+	// mode); everything else reads the plain field under that lock.
+	stateA atomic.Int32
+	phase  phase
 
 	// Stop bookkeeping. An LWP may be claimed stopped by several competing
 	// mechanisms at once (the paper's /proc-vs-ptrace-vs-job-control
@@ -413,17 +484,37 @@ func (l *LWP) Runnable() bool {
 	return l.state == LRun && !l.Stopped() && !l.sleeping
 }
 
+// setSchedState moves the LWP to st, maintaining the atomic mirror and the
+// process's runnable-LWP count. A 0→1 runnable transition hands the process
+// to its home run queue (noteSchedulable; no-op in deterministic mode). In
+// SMP mode every caller holds the global lock.
+func (l *LWP) setSchedState(st LState) {
+	old := l.state
+	if old == st {
+		return
+	}
+	l.state = st
+	l.stateA.Store(int32(st))
+	p := l.Proc
+	if old == LRun {
+		p.nrun.Add(-1)
+	}
+	if st == LRun && p.nrun.Add(1) == 1 {
+		p.k.noteSchedulable(p)
+	}
+}
+
 // markStopped recomputes the scheduling state from the claims.
 func (l *LWP) recompute() {
 	old := l.state
 	switch {
 	case l.state == LZombie:
 	case l.Stopped():
-		l.state = LStop
+		l.setSchedState(LStop)
 	case l.sleeping:
-		l.state = LSleep
+		l.setSchedState(LSleep)
 	default:
-		l.state = LRun
+		l.setSchedState(LRun)
 	}
 	if l.state != old {
 		if k := l.Proc.k; k.ktEnabled(l.Proc) {
@@ -455,12 +546,46 @@ func (l *LWP) DirectStop() {
 	}
 }
 
-// sleep blocks the LWP on q.
+// sleep blocks the LWP on q. In SMP mode the caller holds the global lock
+// (only global-class system calls sleep) and the LWP is registered on the
+// channel's sleeper list under the sleep-queue lock.
 func (l *LWP) sleep(q *waitq) {
 	l.sleepQ = q
 	l.sleeping = true
 	l.Proc.Usage.VolCtx++
+	if k := l.Proc.k; k.smp != nil {
+		k.sleepMu.Lock()
+		lockOrderAcquire(rankSleep)
+		q.sleepers = append(q.sleepers, l)
+		lockOrderRelease(rankSleep)
+		k.sleepMu.Unlock()
+	}
 	l.recompute()
+}
+
+// forgetSleep clears the sleep state without recomputing: the exit path and
+// wake share it. Caller holds the global lock in SMP mode.
+func (l *LWP) forgetSleep() {
+	if !l.sleeping {
+		return
+	}
+	if k := l.Proc.k; k.smp != nil && l.sleepQ != nil {
+		k.sleepMu.Lock()
+		lockOrderAcquire(rankSleep)
+		s := l.sleepQ.sleepers
+		for i, sl := range s {
+			if sl == l {
+				s[i] = s[len(s)-1]
+				s[len(s)-1] = nil
+				l.sleepQ.sleepers = s[:len(s)-1]
+				break
+			}
+		}
+		lockOrderRelease(rankSleep)
+		k.sleepMu.Unlock()
+	}
+	l.sleeping = false
+	l.sleepQ = nil
 }
 
 // wake makes a sleeping LWP runnable again (it will retry its system call).
@@ -468,13 +593,35 @@ func (l *LWP) wake() {
 	if !l.sleeping {
 		return
 	}
-	l.sleeping = false
-	l.sleepQ = nil
+	l.forgetSleep()
 	l.recompute()
 }
 
-// wakeAll wakes every LWP in the system sleeping on q.
+// wakeAll wakes every LWP in the system sleeping on q. The deterministic
+// scheduler keeps the historical process-table scan — its wake order is
+// pinned bit-for-bit by the replay suites. The SMP path walks the channel's
+// own sleeper list instead (O(sleepers), under the sleep-queue lock), with
+// the global lock held by every caller.
 func (k *Kernel) wakeAll(q *waitq) {
+	if k.smp != nil {
+		// Pop-and-wake, one sleeper at a time: the global lock (held by
+		// every caller) keeps the list from growing underneath, wake's own
+		// removal shrinks it, and no scratch slice is allocated.
+		for {
+			k.sleepMu.Lock()
+			lockOrderAcquire(rankSleep)
+			var l *LWP
+			if n := len(q.sleepers); n > 0 {
+				l = q.sleepers[n-1]
+			}
+			lockOrderRelease(rankSleep)
+			k.sleepMu.Unlock()
+			if l == nil {
+				return
+			}
+			l.wake()
+		}
+	}
 	for _, p := range k.order {
 		for _, l := range p.LWPs {
 			if l.sleeping && l.sleepQ == q {

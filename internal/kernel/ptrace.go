@@ -87,6 +87,11 @@ func (k *Kernel) ptraceOp(cl *LWP, req int, addr, data uint32) (uint32, Errno) {
 			return 0, EINVAL
 		}
 		cl.CurSig = sig // 0 clears the signal; otherwise it is delivered
+		if sig != 0 {
+			// The delivery must pass the return-to-user gate, which reads
+			// only the intr atomic.
+			cl.Proc.noteIntr()
+		}
 		if sig == 0 {
 			// A cleared signal ends this delivery: the next signal gets
 			// fresh stop processing. (Delivering a signal keeps the
@@ -142,7 +147,11 @@ type PtraceController struct {
 // PtraceAttach marks a process traced as if it had called ptrace(TRACEME)
 // and returns the parent-side controller.
 func (k *Kernel) PtraceAttach(p *Proc) *PtraceController {
+	k.GlobalLock()
+	p.Lock()
 	p.Ptraced = true
+	p.Unlock()
+	k.GlobalUnlock()
 	return &PtraceController{K: k, P: p}
 }
 
@@ -171,6 +180,16 @@ func (c *PtraceController) Stopped() bool {
 
 func (c *PtraceController) op(req int, addr, data uint32) (uint32, Errno) {
 	c.Ops++
+	// The controller is host-side code that may run concurrently with the
+	// SMP scheduler; it follows the cross-process locking contract (both
+	// locks are no-ops in deterministic mode). WaitStop stays unlocked —
+	// it drives the scheduler.
+	c.K.GlobalLock()
+	c.P.Lock()
+	defer func() {
+		c.P.Unlock()
+		c.K.GlobalUnlock()
+	}()
 	cl := c.P.Rep()
 	if !c.P.Alive() || cl == nil {
 		return 0, ESRCH

@@ -26,16 +26,21 @@ func (k *Kernel) runLWP(l *LWP, budget int) (ran bool) {
 //
 //   - User instruction stepping runs with no kernel lock at all. The only
 //     per-instruction synchronization is the process's intr atomic (the
-//     full signal/stop gate is taken under the big lock only when it is
-//     set) and the address space's own atomics on the TLB path.
-//   - Kernel phases that can touch cross-process state (signal delivery,
-//     stop events, most system calls, sleeps, trace emission) run under
-//     the big kernel lock, acquired lazily by w.lock() and dropped when
-//     the LWP returns to user level. Process-local system calls
-//     (sysProcLocal) dispatch without it.
+//     full signal/stop gate is taken under the global lock only when it
+//     is set) and the address space's own atomics on the TLB path.
+//   - System calls dispatch under the lock their class requires
+//     (sysLockClass): none for pure reads of process-local atomics,
+//     the per-process lock for calls that touch only the caller (brk,
+//     signal masks, alarm/times, umask/nice), and the narrow global
+//     lock for everything that can see another process (fork/exit/wait,
+//     file ops, kill, every call that can sleep). Kernel phases that
+//     touch cross-process state (signal delivery, stop events, sleeps,
+//     trace emission) take the global lock lazily via w.lockGlobal()
+//     and drop everything at the return to user level.
 //   - The clock and usage counters accumulate in the worker and flush
-//     under the big lock once per quantum, so the user-mode hot loop
-//     performs no shared-memory writes per instruction.
+//     under the per-process lock once per quantum, so the user-mode hot
+//     loop performs no shared-memory writes per instruction and the
+//     accounting flush never touches the global lock.
 func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 	p := l.Proc
 	// A stop, sleep or death reached during this call counts as progress
@@ -43,10 +48,18 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 	// (PIOCWSTOP, poll) must get a chance to observe it.
 	entryPhase, entryState := l.phase, l.state
 	if w != nil {
+		// Other CPUs mutate scheduling state under the global lock; this
+		// worker holds nothing yet, so entry/exit observations and the
+		// loop-top check below go through the atomic state mirror.
+		entryState = LState(l.stateA.Load())
 		w.enter(l)
 	}
 	defer func() {
-		if l.phase != entryPhase || l.state != entryState {
+		st := l.state
+		if w != nil {
+			st = LState(l.stateA.Load())
+		}
+		if l.phase != entryPhase || st != entryState {
 			ran = true
 		}
 		if w != nil {
@@ -54,7 +67,11 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 		}
 	}()
 	for budget > 0 {
-		if l.state == LZombie || !p.Alive() || l.Stopped() || l.sleeping {
+		if w == nil {
+			if l.state == LZombie || !p.Alive() || l.Stopped() || l.sleeping {
+				return ran
+			}
+		} else if LState(l.stateA.Load()) != LRun || !p.Alive() {
 			return ran
 		}
 		switch l.phase {
@@ -71,9 +88,12 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 					}
 				}
 			} else {
-				w.unlock() // back at user level: run without the big lock
-				if p.intr.Load() != 0 || l.CurSig != 0 {
-					w.lock()
+				w.unlock() // back at user level: run with no locks at all
+				// The gate reads only the intr atomic: everything that sets
+				// a pending signal, current signal or directed stop calls
+				// noteIntr, so a clear atomic means nothing to deliver.
+				if p.intr.Load() != 0 {
+					w.lockGlobal()
 					if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
 						if k.issig(l, false) {
 							k.psig(l)
@@ -82,7 +102,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 						p.clearIntr()
 					}
 					w.unlock()
-					if l.state == LZombie || !p.Alive() || l.Stopped() {
+					if LState(l.stateA.Load()) != LRun || !p.Alive() {
 						return ran
 					}
 				}
@@ -126,7 +146,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 				}
 				if k.ktEnabled(p) {
 					if w != nil {
-						w.lock()
+						w.lockGlobal()
 					}
 					k.ktFault(l, tr.Fault, tr.Addr)
 				}
@@ -139,7 +159,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			if !l.sysEntryDone && p.Trace.Entry.Has(l.sysNum) {
 				l.sysEntryDone = true
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				l.stopEvent(WhySysEntry, l.sysNum)
 				return ran
@@ -153,7 +173,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			// so it reflects any changes a debugger made at the entry stop.
 			if k.ktEnabled(p) {
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				k.ktSysEntry(l)
 			}
@@ -182,8 +202,8 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 						return ran
 					}
 				}
-			} else if p.intr.Load() != 0 || l.CurSig != 0 {
-				w.lock()
+			} else if p.intr.Load() != 0 {
+				w.lockGlobal()
 				if l.dstop || l.CurSig != 0 || !p.SigPend.IsEmpty() {
 					if k.issig(l, true) {
 						l.sysRet, l.sysR1, l.sysErr = 0, 0, EINTR
@@ -201,13 +221,20 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 				l.phase = phSysExit
 				continue
 			}
-			if w != nil && !(l.sysNum >= 1 && l.sysNum <= MaxSysNum && sysProcLocal[l.sysNum]) {
-				w.lock()
-				// Handlers read the clock and this process's own usage
-				// (time, times, alarm): fold the quantum's deltas in first
-				// so a process observes its own ticks, as it would have in
+			if w != nil {
+				// Take the lock the system call's class requires, and fold
+				// the quantum's deltas in first under it so handlers that
+				// read the clock or this process's own usage (time, times,
+				// alarm) observe their own ticks, as they would have in
 				// deterministic mode.
-				w.flush(p)
+				switch cls := sysClassOf(l.sysNum); cls {
+				case sysLockProc:
+					w.lockProc()
+					w.flush(p)
+				case sysLockGlobal:
+					w.lockGlobal()
+					w.flush(p)
+				}
 			}
 			res := k.dispatch(l)
 			budget--
@@ -224,7 +251,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			}
 			if res.SleepOn != nil {
 				if w != nil {
-					w.lock() // wakers on other CPUs read the sleep state
+					w.lockGlobal() // wakers on other CPUs read the sleep state
 				}
 				l.sleep(res.SleepOn)
 				return ran
@@ -245,14 +272,14 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			if !l.sysExitDone && p.Trace.Exit.Has(l.sysNum) {
 				l.sysExitDone = true
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				l.stopEvent(WhySysExit, l.sysNum)
 				return ran
 			}
 			if k.ktEnabled(p) {
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				k.ktSysExit(l)
 			}
@@ -273,8 +300,12 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 				if l.state == LZombie || !p.Alive() || l.Stopped() {
 					return ran
 				}
-			} else if p.intr.Load() != 0 || l.CurSig != 0 || l.dstop {
-				w.lock()
+			} else if p.intr.Load() != 0 {
+				// The gate reads only the intr atomic: every setter of a
+				// pending, current or directed-stop condition raises it,
+				// and clearIntr refuses to drop it while any of them
+				// remain, so a clear atomic means nothing to deliver.
+				w.lockGlobal()
 				if k.issig(l, false) {
 					k.psig(l)
 				}
@@ -288,7 +319,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			if !l.fltStopDone && p.Trace.Faults.Has(l.CurFlt) {
 				l.fltStopDone = true
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				l.stopEvent(WhyFaulted, l.CurFlt)
 				return ran
@@ -307,7 +338,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 			// SIGILL for breakpoints.
 			if sig := types.FaultSignal(flt); sig != 0 {
 				if w != nil {
-					w.lock()
+					w.lockGlobal()
 				}
 				k.PostSignal(p, sig)
 			}
@@ -327,7 +358,7 @@ func (k *Kernel) runLWPOn(w *kcpu, l *LWP, budget int) (ran bool) {
 		} else {
 			w.involCtx++
 			if k.ktEnabled(p) {
-				w.lock()
+				w.lockGlobal()
 				k.ktSchedTick(l)
 			}
 		}

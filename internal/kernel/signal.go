@@ -14,6 +14,12 @@ const sigALRM = types.SIGALRM
 // distinct: "a signal does not cause a process to stop when it is generated,
 // only when it is received", which is exactly why the paper prefers faults
 // over signals for breakpoints.
+//
+// Locking (SMP): the caller holds the global lock; when p is not the
+// calling process (kill, SIGCHLD, alarm sweep, PIOCKILL) the caller holds
+// p's process lock as well, because the usage counter, the disposition
+// table and the hold masks read here are written by p's own process-local
+// system calls under only that lock.
 func (k *Kernel) PostSignal(p *Proc, sig int) {
 	if p == nil || !p.Alive() || sig < 1 || sig > types.MaxSig {
 		return

@@ -12,37 +12,50 @@ import (
 //
 // The schedulable unit is the whole process: the LWPs of one process never
 // run on two CPUs at once, which preserves the kernel's invariant that a
-// process's own state is only ever mutated from "its" CPU or under the big
-// kernel lock. Each scheduling pass partitions the alive user processes
-// into per-CPU run queues (by pid, so placement is stable across passes),
-// spawns one worker goroutine per CPU, and joins them. A worker drains its
-// own queue first and then steals from the other queues; the atomic cursor
-// in each queue makes popping race-free, so a process is claimed by exactly
-// one worker per pass.
+// process's own state is only ever mutated from "its" CPU or under the
+// appropriate lock. Each process has a home run queue (by pid, so placement
+// is stable) and queue membership is maintained incrementally: a process is
+// enqueued when it gains its first runnable LWP (noteSchedulable, from
+// wakeup and fork) and lazily dequeued when a claimer finds it dead or with
+// nothing runnable. A scheduling pass resets each queue's claim cursor and
+// fans out to persistent per-CPU worker goroutines parked on a channel; a
+// worker drains its own queue first and then steals from the others. The
+// per-pass claim stamp (Proc.lastPass) keeps a process that blocks and is
+// re-woken within one pass from being claimed twice — the second claim
+// would race the first CPU's still-running quantum.
 //
-// Workers are spawned per pass rather than parked persistently: the pass
-// join is the only synchronization the control plane needs (everything
-// between Step calls is single-threaded, exactly like deterministic mode),
-// and goroutine-leak checks in tests stay trivially clean.
-//
-// Synchronization summary:
-//
-//   - k.big, the big kernel lock, serializes all kernel phases that touch
-//     cross-process state (signals, stops, sleeps, most system calls,
-//     trace rings, fork/exit). See runLWPOn.
-//   - Process-table membership is sharded (k.pids) with a separate order
-//     list lock (k.orderMu) so host-side readers never block the passes.
-//   - The per-quantum clock/usage counters accumulate in the kcpu and
-//     flush under k.big once per quantum.
-//   - kcpu.curAS publishes which address space the worker may be touching
-//     lock-free (user-mode stepping); the TLB shootdown barrier below
-//     spins on it.
+// Locking: see the hierarchy comment on Kernel.global in kernel.go.
+// Workers take the narrow global lock only for global-class kernel phases
+// (fork/exit, sleeps, cross-process work — runLWPOn), the per-process lock
+// alone for process-local system calls, the sleep-queue lock to collect a
+// claimed process's runnable LWPs, and each run queue's own lock to claim.
+// kcpu.curAS publishes which address space the worker may be touching
+// lock-free (user-mode stepping); the TLB shootdown barrier spins on it.
 
-// runQueue is one CPU's share of a scheduling pass. pos is the claim
-// cursor: pop = pos.Add(1)-1, so owners and thieves use the same code.
+// runQueue is one CPU's run queue. Membership (procs, the inQueue flags of
+// its members, their lastPass stamps) and the claim cursor are guarded by
+// mu; avail mirrors the number of unclaimed entries so thieves can probe a
+// victim without taking its lock (near-empty queues otherwise serialize
+// every thief on the lock for nothing — the fork_storm p99 stampede).
 type runQueue struct {
-	pos   atomic.Int32
 	procs []*Proc
+	next  int
+	avail atomic.Int32
+	qmu
+}
+
+// qmu wraps the queue lock so lockdebug builds see rank-ordered
+// acquisition without every call site repeating the bookkeeping.
+type qmu struct{ mu sync.Mutex }
+
+func (q *qmu) lock() {
+	lockOrderAcquire(rankQueue)
+	q.mu.Lock()
+}
+
+func (q *qmu) unlock() {
+	q.mu.Unlock()
+	lockOrderRelease(rankQueue)
 }
 
 // kcpu is one scheduler CPU. Fields other than curAS are only touched by
@@ -53,18 +66,22 @@ type kcpu struct {
 	k  *Kernel
 
 	// curAS publishes the address space this CPU may currently be
-	// translating for without holding the big lock (user-mode stepping).
+	// translating for without holding any lock (user-mode stepping).
 	// nil whenever the CPU is idle or inside the kernel. The shootdown
 	// barrier spins until no CPU publishes the dying space.
 	curAS atomic.Pointer[mem.AS]
 	as    *mem.AS // the running LWP's space (restored into curAS on unlock)
+	p     *Proc   // the process of the current quantum (enter..leave)
 
-	// locked tracks whether this worker holds k.big, making lock/unlock
-	// idempotent: runLWPOn acquires lazily at the first kernel-phase need
-	// and releases on return to user level.
-	locked bool
+	// haveGlobal/haveProc track which locks this worker holds, making the
+	// acquisitions idempotent: runLWPOn acquires lazily at the first
+	// kernel-phase need and unlock releases everything on return to user
+	// level. Escalating from the proc lock to the global lock drops the
+	// proc lock first (rank order) and retakes it after.
+	haveGlobal bool
+	haveProc   bool
 
-	// Per-quantum counter deltas, flushed under the big lock by flush().
+	// Per-quantum counter deltas, flushed under the process lock by flush().
 	ticks     int64
 	userTicks int64
 	sysTicks  int64
@@ -80,12 +97,22 @@ type kcpu struct {
 type smpState struct {
 	cpus   []*kcpu
 	queues []runQueue
+
+	// Persistent workers: one token on work per CPU per pass, one result
+	// on done per token. Lazily started at the first pass; Shutdown closes
+	// work and the workers drain out.
+	work    chan struct{}
+	done    chan bool
+	started bool
+	pass    uint64 // pass ordinal; also keys the steal-victim rotation
 }
 
 func newSMP(k *Kernel, n int) *smpState {
 	s := &smpState{
 		cpus:   make([]*kcpu, n),
 		queues: make([]runQueue, n),
+		work:   make(chan struct{}, n),
+		done:   make(chan bool, n),
 	}
 	for i := range s.cpus {
 		s.cpus[i] = &kcpu{id: i, k: k}
@@ -101,27 +128,105 @@ func (k *Kernel) NCPU() int {
 	return len(k.smp.cpus)
 }
 
-// lock acquires the big kernel lock for this worker if it does not already
-// hold it. The worker's published address space is cleared first: a CPU
-// that blocks on the lock must never be spun on by a shootdown initiator
-// that holds the lock, or the two would deadlock.
-func (w *kcpu) lock() {
-	if w.locked {
+// noteSchedulable hands p to its home run queue if it is not already a
+// member. Called when a process gains its first runnable LWP (wakeup,
+// continue) and at fork; no-op in deterministic mode and for system
+// processes. Callers hold the global lock, except addProc's host-side
+// boot path where no pass can be running.
+func (k *Kernel) noteSchedulable(p *Proc) {
+	s := k.smp
+	if s == nil || p.System {
+		return
+	}
+	q := &s.queues[uint(p.Pid)%uint(len(s.queues))]
+	q.lock()
+	if !p.inQueue {
+		p.inQueue = true
+		q.procs = append(q.procs, p)
+		q.avail.Add(1)
+	}
+	q.unlock()
+}
+
+// claim pops the next claimable process, lazily dequeuing entries that are
+// dead or have nothing runnable, and skipping (but consuming) entries
+// already claimed this pass — a process that blocked and was re-woken
+// mid-pass must not run on a second CPU while the first may still be in
+// its quantum loop; it stays a member and runs next pass.
+func (q *runQueue) claim(pass uint64) *Proc {
+	q.lock()
+	for q.next < len(q.procs) {
+		p := q.procs[q.next]
+		if !p.Alive() || p.nrun.Load() == 0 {
+			last := len(q.procs) - 1
+			q.procs[q.next] = q.procs[last]
+			q.procs[last] = nil
+			q.procs = q.procs[:last]
+			p.inQueue = false
+			q.avail.Add(-1)
+			continue
+		}
+		q.next++
+		q.avail.Add(-1)
+		if p.lastPass == pass {
+			continue
+		}
+		p.lastPass = pass
+		q.unlock()
+		return p
+	}
+	q.unlock()
+	return nil
+}
+
+// lockProc acquires the current process's lock (rank 2) for this worker if
+// not already held. The published address space is cleared first: a CPU
+// that blocks on any lock must never be spun on by a shootdown initiator,
+// or the two would deadlock.
+func (w *kcpu) lockProc() {
+	if w.haveProc {
 		return
 	}
 	w.curAS.Store(nil)
-	w.k.big.Lock()
-	w.locked = true
+	w.p.Lock()
+	w.haveProc = true
 }
 
-// unlock drops the big lock if held and republishes the running space for
-// the user-mode stepping that follows.
-func (w *kcpu) unlock() {
-	if !w.locked {
+// lockGlobal acquires the global kernel lock (rank 1). Own-process state
+// may be accessed under either the global lock or the per-process lock
+// (cross-process accessors hold both, so every conflicting pair shares a
+// lock); global-class phases therefore do not take the proc lock at all.
+// A worker holding only the proc lock escalates by dropping it first —
+// rank order forbids proc→global.
+func (w *kcpu) lockGlobal() {
+	if w.haveGlobal {
 		return
 	}
-	w.k.big.Unlock()
-	w.locked = false
+	if w.haveProc {
+		w.p.Unlock()
+		w.haveProc = false
+	}
+	w.curAS.Store(nil)
+	w.k.GlobalLock()
+	w.haveGlobal = true
+}
+
+// lock is lockGlobal under its historical big-kernel-lock name; the
+// shootdown-barrier tests exercise the withdraw/block contract through it.
+func (w *kcpu) lock() { w.lockGlobal() }
+
+// unlock drops whatever locks the worker holds (proc before global, the
+// reverse of acquisition) and republishes the running space for the
+// user-mode stepping that follows.
+func (w *kcpu) unlock() {
+	if w.haveProc {
+		w.p.Unlock()
+		w.haveProc = false
+	}
+	if w.haveGlobal {
+		w.k.GlobalUnlock()
+		w.haveGlobal = false
+	}
 	if w.as != nil {
 		w.curAS.Store(w.as)
 	}
@@ -129,29 +234,36 @@ func (w *kcpu) unlock() {
 
 // enter marks the start of a quantum for l on this CPU.
 func (w *kcpu) enter(l *LWP) {
+	w.p = l.Proc
 	w.as = l.CPU.AS
 	if w.as != nil {
 		w.curAS.Store(w.as)
 	}
 }
 
-// leave marks the end of a quantum: flush counter deltas under the big
-// lock if any accumulated, release the lock, and withdraw the published
-// address space.
+// leave marks the end of a quantum: flush counter deltas — under the
+// per-process lock alone when no lock is held, so a quantum spent purely
+// in user mode or process-local calls never touches the global lock for
+// accounting — then release everything and withdraw the published space.
 func (w *kcpu) leave(p *Proc) {
 	if w.ticks != 0 || w.syscalls != 0 || w.faults != 0 || w.involCtx != 0 {
-		w.lock()
+		if !w.haveGlobal && !w.haveProc {
+			w.lockProc()
+		}
 		w.flush(p)
 	}
 	w.unlock()
+	w.p = nil
 	w.as = nil
 	w.curAS.Store(nil)
 }
 
 // flush folds the per-quantum deltas into the shared clock and the
-// process's usage. Caller holds the big lock.
+// process's usage. The caller holds the global lock or p's lock (either
+// suffices for own-process state); the clock itself is atomic and needs
+// neither.
 func (w *kcpu) flush(p *Proc) {
-	w.k.clock += w.ticks
+	w.k.clockA.Add(w.ticks)
 	p.Usage.UserTicks += w.userTicks
 	p.Usage.SysTicks += w.sysTicks
 	p.Usage.Syscalls += w.syscalls
@@ -166,10 +278,10 @@ func (w *kcpu) flush(p *Proc) {
 // Brk does), which stops new translations; this waits until no other CPU
 // is still inside a user instruction on the space, closing the window in
 // which an in-flight access could use a stale frame. The initiator runs
-// under the big lock with its own curAS withdrawn, and blocked CPUs clear
-// theirs before sleeping on the lock, so the spin always terminates.
-// Deterministic mode and host-side callers (no pass running) fall through
-// immediately.
+// under the global lock (or, for address-space-only calls, the per-process
+// lock) with its own curAS withdrawn, and blocked CPUs clear theirs before
+// sleeping on any lock, so the spin always terminates. Deterministic mode
+// and host-side callers (no pass running) fall through immediately.
 func (k *Kernel) shootdown(as *mem.AS) {
 	if k.smp == nil || as == nil {
 		return
@@ -182,85 +294,117 @@ func (k *Kernel) shootdown(as *mem.AS) {
 }
 
 // stepSMP is Step for NCPU > 1: one scheduling pass fanned out to the
-// worker goroutines.
+// persistent worker goroutines.
 func (k *Kernel) stepSMP() bool {
-	// The pass prologue is single-threaded: no workers are running, so the
-	// clock tick and timer sweep need no locks and stay in pass order.
-	k.clock++
-	k.checkTimers()
-
-	// Rebuild the run queues. Placement by pid keeps a process on the same
-	// queue across passes (cache- and reasoning-friendly); work-stealing
-	// rebalances when the partition is uneven.
 	s := k.smp
-	n := len(s.cpus)
-	for i := range s.queues {
-		s.queues[i].procs = s.queues[i].procs[:0]
-		s.queues[i].pos.Store(0)
-	}
-	k.orderMu.RLock()
-	for _, p := range k.order {
-		if !p.Alive() || p.System {
-			continue
+	if !s.started {
+		s.started = true
+		for _, w := range s.cpus {
+			go k.smpWorker(w)
 		}
-		q := &s.queues[uint(p.Pid)%uint(n)]
-		q.procs = append(q.procs, p)
 	}
-	k.orderMu.RUnlock()
 
-	var wg sync.WaitGroup
-	for _, w := range s.cpus {
-		w.ran = false
-		wg.Add(1)
-		go func(w *kcpu) {
-			defer wg.Done()
-			k.runPass(w)
-		}(w)
+	// The pass prologue runs on the single driver goroutine under the
+	// global lock (timer-fired wakeups mutate scheduling state).
+	k.GlobalLock()
+	k.tickClock()
+	k.checkTimers()
+	k.GlobalUnlock()
+
+	// Arm the queues for the new pass: reset the claim cursors over the
+	// incrementally-maintained membership. No rebuild, no allocation.
+	s.pass++
+	idle := true
+	for i := range s.queues {
+		q := &s.queues[i]
+		q.lock()
+		q.next = 0
+		q.avail.Store(int32(len(q.procs)))
+		if len(q.procs) > 0 {
+			idle = false
+		}
+		q.unlock()
 	}
-	wg.Wait()
+	if idle {
+		// Nothing is a member of any queue: fully blocked/stopped/exited.
+		// Skip the fan-out; the prologue already advanced time.
+		return false
+	}
 
+	for range s.cpus {
+		s.work <- struct{}{}
+	}
 	ran := false
-	for _, w := range s.cpus {
-		if w.ran {
+	for range s.cpus {
+		if <-s.done {
 			ran = true
 		}
 	}
 	return ran
 }
 
-// runPass drains this CPU's queue, then steals from the others.
+// smpWorker is the persistent per-CPU scheduler loop: park on the work
+// channel, run one pass, report whether anything executed. Exits when
+// Shutdown closes the channel.
+func (k *Kernel) smpWorker(w *kcpu) {
+	for range k.smp.work {
+		w.ran = false
+		k.runPass(w)
+		k.smp.done <- w.ran
+	}
+}
+
+// runPass drains this CPU's own queue, then steals. Victims are visited in
+// a rotation keyed off the pass ordinal (a pure function, so no host
+// nondeterminism), which spreads thieves across victims instead of
+// stampeding them all onto the same near-empty queue; the avail probe lets
+// a thief skip an empty victim without touching its lock.
 func (k *Kernel) runPass(w *kcpu) {
 	s := k.smp
 	n := len(s.queues)
+	k.drainQueue(w, &s.queues[w.id])
+	if n == 1 {
+		return
+	}
+	start := (w.id + int(s.pass)) % n
 	for i := 0; i < n; i++ {
-		q := &s.queues[(w.id+i)%n]
-		for {
-			idx := int(q.pos.Add(1)) - 1
-			if idx >= len(q.procs) {
-				break
-			}
-			k.runProc(w, q.procs[idx])
+		qi := (start + i) % n
+		if qi == w.id {
+			continue
 		}
+		q := &s.queues[qi]
+		if q.avail.Load() <= 0 {
+			continue
+		}
+		k.drainQueue(w, q)
+	}
+}
+
+func (k *Kernel) drainQueue(w *kcpu, q *runQueue) {
+	for {
+		p := q.claim(k.smp.pass)
+		if p == nil {
+			return
+		}
+		k.runProc(w, p)
 	}
 }
 
 // runProc gives every runnable LWP of p one quantum on this CPU. The
-// runnable set is collected under the big lock (other CPUs wake sleepers
-// and post signals under it); the quanta themselves run with the usual
-// lazy locking in runLWPOn.
+// runnable set is collected under the sleep-queue lock (which guards LWP
+// list membership) from the atomic state mirror — no global lock; the
+// quanta themselves run with the usual lazy locking in runLWPOn.
 func (k *Kernel) runProc(w *kcpu, p *Proc) {
-	k.big.Lock()
-	if !p.Alive() {
-		k.big.Unlock()
-		return
-	}
+	k.sleepMu.Lock()
+	lockOrderAcquire(rankSleep)
 	w.scratch = w.scratch[:0]
 	for _, l := range p.LWPs {
-		if l.Runnable() {
+		if LState(l.stateA.Load()) == LRun {
 			w.scratch = append(w.scratch, l)
 		}
 	}
-	k.big.Unlock()
+	lockOrderRelease(rankSleep)
+	k.sleepMu.Unlock()
 	for _, l := range w.scratch {
 		if k.runLWPOn(w, l, k.Quantum) {
 			w.ran = true

@@ -140,19 +140,61 @@ func rsleep(q *waitq) sysResult  { return sysResult{SleepOn: q} }
 
 var sysTable [MaxSysNum + 1]sysent
 
-// sysProcLocal marks the system calls whose handlers read only their own
-// process's stable or atomically-maintained state. The SMP scheduler
-// dispatches them without taking the big kernel lock, so a fleet of getpid
-// grinders scales with CPUs instead of serializing on one mutex. A call may
-// appear here only if its handler performs no cross-process reads, no
-// mutation another CPU could observe, and no sleeping.
-var sysProcLocal = [MaxSysNum + 1]bool{
-	SysGetpid:  true, // Pid immutable; ppid kept in an atomic
-	SysGetuid:  true, // own Cred, written only by this process's own calls
-	SysGetgid:  true,
-	SysGetpgrp: true, // own Pgrp, written only by this process's setpgrp
-	SysLwpSelf: true, // own LWP id
-	SysYield:   true, // no state at all
+// Lock classes: the lock an SMP worker must hold to dispatch a system
+// call (run.go). Deterministic mode ignores the table entirely.
+//
+//   - sysLockNone: the handler reads only its own process's stable or
+//     atomically-maintained state — no lock at all, so a fleet of getpid
+//     grinders scales with CPUs.
+//   - sysLockProc: the handler touches only the calling process's own
+//     state (address space, time/usage accounting, dispositions, masks,
+//     identity mutations) — the per-process lock, under which inspectors
+//     (procfs) and cross-process writers (kill's permission check,
+//     SIGCHLD posting) also access those fields.
+//   - sysLockGlobal: everything else — anything that can sleep, touch
+//     another process, or go through the (unsynchronized) file system
+//     layers takes the narrow global lock.
+//
+// A call may be sysLockProc only if its handler performs no cross-process
+// access, no file-system access, no ktrace emission, and no sleeping.
+type sysLockKind uint8
+
+const (
+	sysLockGlobal sysLockKind = iota // zero value: global is the safe default
+	sysLockProc
+	sysLockNone
+)
+
+var sysLockClass = [MaxSysNum + 1]sysLockKind{
+	SysGetpid:   sysLockNone, // Pid immutable; ppid kept in an atomic
+	SysGetuid:   sysLockNone, // own Cred, written only by this process's own calls
+	SysGetgid:   sysLockNone,
+	SysGetpgrp:  sysLockNone, // own Pgrp, written only by this process's setpgrp
+	SysLwpSelf:  sysLockNone, // own LWP id
+	SysYield:    sysLockNone, // no state at all
+	SysBrk:      sysLockProc, // own address space; shootdown withdraws curAS
+	SysMmap:     sysLockProc,
+	SysMunmap:   sysLockProc,
+	SysMprotect: sysLockProc,
+	SysTime:     sysLockProc, // atomic clock; classed proc so the flush runs
+	SysTimes:    sysLockProc, // own usage, flushed under this same lock
+	SysAlarm:    sysLockProc, // alarmAt atomic; remaining-time math wants the flush
+	SysUmask:    sysLockProc, // own umask
+	SysNice:     sysLockProc, // own nice
+	SysSetuid:   sysLockProc, // own creds; kill's permission check takes this lock
+	SysSetgid:   sysLockProc,
+	SysSetpgrp:  sysLockProc, // own pgrp; kill's group sweep takes this lock
+	SysSignal:   sysLockProc, // own dispositions; cross-CPU posters take this lock
+	SysSigmask:  sysLockProc, // own hold mask; PostSignal reads it under this lock
+}
+
+// sysClassOf returns the lock class for a system call number; out-of-range
+// numbers dispatch to the ENOSYS path under the global lock.
+func sysClassOf(num int) sysLockKind {
+	if num < 1 || num > MaxSysNum {
+		return sysLockGlobal
+	}
+	return sysLockClass[num]
 }
 
 func init() {

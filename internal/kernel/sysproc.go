@@ -28,9 +28,9 @@ func (k *Kernel) exitProc(p *Proc, status int) {
 	p.ExitStatus = status
 	k.tableRev.Add(1) // liveness changed: snapshots taken before this are stale
 	for _, l := range p.LWPs {
-		l.state = LZombie
+		l.forgetSleep()
+		l.setSchedState(LZombie)
 		l.procClaim, l.jobClaim, l.ptraceClaim = false, false, false
-		l.sleeping = false
 	}
 	for _, f := range p.fds {
 		f.Close()
@@ -71,14 +71,19 @@ func (k *Kernel) finishExit(p *Proc) {
 			k.reap(kid)
 		}
 	}
-	// Notify the parent.
+	// Notify the parent. The disposition read and the post are
+	// cross-process: take the parent's lock under the global lock.
 	if p.Parent != nil && p.Parent.Alive() {
 		parent := p.Parent
-		if parent.Actions[types.SIGCHLD].Handler == SigIGN || parent == k.initProc && !parentWaits(parent) {
+		parent.Lock()
+		ignored := parent.Actions[types.SIGCHLD].Handler == SigIGN
+		if ignored || parent == k.initProc && !parentWaits(parent) {
+			parent.Unlock()
 			// SIGCHLD ignored: children do not become zombies.
 			k.reap(p)
 		} else {
 			k.PostSignal(parent, types.SIGCHLD)
+			parent.Unlock()
 			k.wakeAll(&parent.waitq)
 		}
 	} else {
@@ -202,7 +207,7 @@ func (k *Kernel) forkProc(l *LWP, vfork bool) *Proc {
 		CWD:       p.CWD,
 		Umask:     p.Umask,
 		Nice:      p.Nice,
-		Start:     k.clock,
+		Start:     k.Now(),
 		fds:       map[int]*vfs.File{},
 		ExecVN:    p.ExecVN,
 		ExecPath:  p.ExecPath,
@@ -346,7 +351,7 @@ func sysUmask(k *Kernel, l *LWP) sysResult {
 
 // --- time and timers ---
 
-func sysTime(k *Kernel, l *LWP) sysResult { return ret(uint32(k.clock)) }
+func sysTime(k *Kernel, l *LWP) sysResult { return ret(uint32(k.Now())) }
 
 func sysTimes(k *Kernel, l *LWP) sysResult {
 	u := l.Proc.Usage
@@ -355,15 +360,16 @@ func sysTimes(k *Kernel, l *LWP) sysResult {
 
 func sysAlarm(k *Kernel, l *LWP) sysResult {
 	p := l.Proc
+	now := k.Now()
 	var remaining int64
-	if p.alarmAt > k.clock {
-		remaining = p.alarmAt - k.clock
+	if at := p.alarmAt.Load(); at > now {
+		remaining = at - now
 	}
 	ticks := int64(l.sysArgs[0])
 	if ticks == 0 {
-		p.alarmAt = 0
+		p.alarmAt.Store(0)
 	} else {
-		p.alarmAt = k.clock + ticks
+		p.alarmAt.Store(now + ticks)
 	}
 	return ret(uint32(remaining))
 }
@@ -375,9 +381,9 @@ func sysPause(k *Kernel, l *LWP) sysResult {
 
 func sysSleep(k *Kernel, l *LWP) sysResult {
 	if l.sleepDeadline == 0 {
-		l.sleepDeadline = k.clock + int64(l.sysArgs[0])
+		l.sleepDeadline = k.Now() + int64(l.sysArgs[0])
 	}
-	if k.clock >= l.sleepDeadline {
+	if k.Now() >= l.sleepDeadline {
 		l.sleepDeadline = 0
 		return ret(0)
 	}
@@ -395,7 +401,12 @@ func sysKill(k *Kernel, l *LWP) sysResult {
 		return rerr(EINVAL)
 	}
 	p := l.Proc
+	// Cross-process access: the target's credentials and usage are written
+	// by its own process-local calls under only its process lock, so the
+	// permission check and the post take global + target lock.
 	send := func(t *Proc) Errno {
+		t.Lock()
+		defer t.Unlock()
 		if !p.Cred.IsSuper() && p.Cred.RUID != t.Cred.RUID && p.Cred.EUID != t.Cred.RUID {
 			return EPERM
 		}
@@ -414,10 +425,17 @@ func sysKill(k *Kernel, l *LWP) sysResult {
 		}
 		return ret(0)
 	}
-	// pid 0: the sender's process group.
+	// pid 0: the sender's process group. The membership read takes the
+	// target lock too (setpgrp is process-local).
 	found := false
 	for _, t := range k.Procs() {
-		if t.Alive() && t.Pgrp == p.Pgrp && !t.System {
+		if !t.Alive() || t.System {
+			continue
+		}
+		t.Lock()
+		match := t.Pgrp == p.Pgrp
+		t.Unlock()
+		if match {
 			found = true
 			send(t)
 		}
@@ -560,7 +578,7 @@ func sysLwpCreate(k *Kernel, l *LWP) sysResult {
 }
 
 func sysLwpExit(k *Kernel, l *LWP) sysResult {
-	l.state = LZombie
+	l.setSchedState(LZombie)
 	if len(l.Proc.LiveLWPs()) == 0 {
 		k.exitProc(l.Proc, statusExited(0))
 	}

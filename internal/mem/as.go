@@ -209,13 +209,27 @@ func (as *AS) Segs() []*Seg { return append([]*Seg(nil), as.segs...) }
 func (as *AS) SegsView() []*Seg { return as.segs }
 
 // VirtSize returns the total virtual memory size in bytes — the "size"
-// reported for the process's /proc file in Figure 1.
+// reported for the process's /proc file in Figure 1. It takes the
+// address-space lock: inspectors read it while the owning process may be
+// extending a mapping from a fault path on another CPU.
 func (as *AS) VirtSize() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	var n int64
 	for _, s := range as.segs {
 		n += int64(s.Len)
 	}
 	return n
+}
+
+// StatsSnap returns a copy of the page-event statistics taken under the
+// address-space lock, for inspectors that may run concurrently with the
+// owning process's fault paths (which bump these counters under the same
+// lock).
+func (as *AS) StatsSnap() Stats {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.Stats
 }
 
 // FindSeg returns the mapping containing addr, or nil.

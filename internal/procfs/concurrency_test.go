@@ -1,0 +1,227 @@
+package procfs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/procfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// TestConcurrentControllers races host-side /proc controllers against the
+// SMP scheduler: while the driver goroutine steps a fork/exit/ptrace storm
+// across four simulated CPUs, inspector goroutines continuously take
+// PIOCSNAP snapshots and chase individual pids with PIOCPSINFO/PIOCCRED,
+// and a killer goroutine posts signals with PIOCKILL. Run under -race, this
+// exercises the cross-process locking contract of every host-side /proc
+// entry point (open, ioctl, snapshot, close) against fork, exit, reap,
+// signal delivery and the ptrace stop machinery.
+//
+// The test keeps the single-driver discipline: only the main goroutine
+// steps the scheduler, so the wait-style operations (PIOCSTOP, PIOCWSTOP)
+// that drive it are deliberately absent from the inspector loops.
+func TestConcurrentControllers(t *testing.T) {
+	s := repro.NewSystem(repro.Options{NCPU: 4})
+	defer s.Close()
+
+	// A process family: fork a napping child and a crashing child, reap
+	// both, exit 7 — fork, sleep/wake, fault-to-signal, exit and reap.
+	const family = `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_sleep
+	movi r1, 20
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne reap
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+reap:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 7
+	syscall
+`
+	// A ptrace family: the child arranges to be traced and stops on a
+	// signal; the parent kills it through ptrace and reaps the corpse.
+	const tracer = `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_ptrace	; child: TRACEME then stop on a signal
+	movi r1, 0
+	syscall
+	movi r0, SYS_getpid
+	syscall
+	mov r6, r0
+	movi r0, SYS_kill
+	mov r1, r6
+	movi r2, 5
+	syscall
+loop:	jmp loop
+parent:
+	mov r6, r0
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_ptrace
+	movi r1, 8		; PTRACE_KILL
+	mov r2, r6
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 7
+	syscall
+`
+	// Long-lived spinners give the killer goroutine stable targets.
+	const spinner = `
+loop:	movi r0, SYS_getpid
+	syscall
+	jmp loop
+`
+	var parents []*kernel.Proc
+	for i := 0; i < 3; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("cfam%d", i), family, types.UserCred(100, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, p)
+	}
+	for i := 0; i < 2; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("ctrc%d", i), tracer, types.UserCred(100, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents = append(parents, p)
+	}
+	var victims []*kernel.Proc
+	for i := 0; i < 3; i++ {
+		p, err := s.SpawnProg(fmt.Sprintf("cvic%d", i), spinner, types.UserCred(100, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, p)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Inspectors: snapshot the table, then chase one pid from the result.
+	// Per-pid operations tolerate errors — the target may exit, be reaped
+	// or exec between the snapshot and the open — but the snapshot itself
+	// must always succeed.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := s.Client(types.RootCred())
+			rng := uint32(g)*2654435761 + 12345
+			next := func(n int) int {
+				rng = rng*1664525 + 1013904223
+				return int(rng>>16) % n
+			}
+			var sn procfs.PrSnap
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				dir, err := cl.Open("/proc", vfs.ORead)
+				if err != nil {
+					t.Errorf("inspector %d: open /proc: %v", g, err)
+					return
+				}
+				sn.WithUsage = true
+				err = dir.Ioctl(procfs.PIOCSNAP, &sn)
+				dir.Close()
+				if err != nil {
+					t.Errorf("inspector %d: PIOCSNAP: %v", g, err)
+					return
+				}
+				if len(sn.Procs) == 0 {
+					t.Errorf("inspector %d: empty snapshot", g)
+					return
+				}
+				rec := sn.Procs[next(len(sn.Procs))]
+				f, err := s.OpenProc(rec.Info.Pid, vfs.ORead, types.RootCred())
+				if err != nil {
+					continue // exited or reaped since the snapshot
+				}
+				var ps kernel.PSInfo
+				_ = f.Ioctl(procfs.PIOCPSINFO, &ps)
+				var cred types.Cred
+				_ = f.Ioctl(procfs.PIOCCRED, &cred)
+				f.Close()
+			}
+		}(g)
+	}
+
+	// Killer: post harmless signals at the spinners through PIOCKILL. The
+	// spinners ignore nothing — SIGINT terminates them — so the fleet also
+	// exercises signal-driven exit racing the inspectors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v := victims[i%len(victims)]
+			i++
+			f, err := s.OpenProc(v.Pid, vfs.ORead|vfs.OWrite, types.RootCred())
+			if err != nil {
+				continue // already dead
+			}
+			sig := types.SIGINT
+			_ = f.Ioctl(procfs.PIOCKILL, &sig)
+			f.Close()
+		}
+	}()
+
+	// The driver: the only goroutine that steps the scheduler.
+	for _, p := range parents {
+		status, err := s.WaitExit(p)
+		if err != nil {
+			close(done)
+			wg.Wait()
+			t.Fatalf("pid %d: %v", p.Pid, err)
+		}
+		if ok, code := kernel.WIfExited(status); !ok || code != 7 {
+			close(done)
+			wg.Wait()
+			t.Fatalf("pid %d: status %#x, want clean exit 7", p.Pid, status)
+		}
+	}
+	// Give the controllers a little more concurrent run time over a
+	// now-stable table, then stop them.
+	for i := 0; i < 2000; i++ {
+		s.Step()
+	}
+	close(done)
+	wg.Wait()
+}

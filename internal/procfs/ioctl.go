@@ -134,26 +134,103 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 		if !ok {
 			return vfs.ErrInval
 		}
+		h.fs.K.GlobalLock()
+		h.p.Lock()
 		*out = h.p.PSInfo()
+		h.p.Unlock()
+		h.fs.K.GlobalUnlock()
 		return nil
 	}
-	if err := h.valid(); err != nil {
+	p := h.p
+	k := h.fs.K
+
+	// check validates the handle and the operation; it runs with the locks
+	// below held because it reads process state (liveness, the exec
+	// generation) that the scheduler mutates. Operations that build scratch
+	// state (snapshots, map tables, watchpoint lists, descriptor images)
+	// are the ioctl layer's allocation choke point; an injected failure
+	// surfaces as EAGAIN, the paper's errno for a transiently unsatisfiable
+	// request.
+	check := func() error {
+		if err := h.valid(); err != nil {
+			return err
+		}
+		if h.writeOp(cmd) && h.flags&vfs.OWrite == 0 {
+			return vfs.ErrBadFD
+		}
+		switch cmd {
+		case PIOCACTION, PIOCMAP, PIOCGWATCH, PIOCPGD, PIOCGROUPS, PIOCOPENM:
+			if siteFaultIoctl.Hit(h.p.Pid) {
+				return vfs.ErrAgain
+			}
+		}
+		return nil
+	}
+
+	// Ioctls arrive from host-side controllers (debuggers, ps, tests) that
+	// may run concurrently with the SMP scheduler, so they follow the
+	// kernel's cross-process locking contract: the global kernel lock plus
+	// the target's per-process lock (both no-ops in deterministic mode).
+	// The two wait-style commands are exceptions — WaitStop drives the
+	// scheduler and must run unlocked — so they are handled first;
+	// PIOCSTOP locks only around the stop directive itself.
+	switch cmd {
+	case PIOCSTOP:
+		k.GlobalLock()
+		p.Lock()
+		if err := check(); err != nil {
+			p.Unlock()
+			k.GlobalUnlock()
+			return err
+		}
+		p.DirectStopAll()
+		p.Unlock()
+		k.GlobalUnlock()
+		l, err := k.WaitStop(p, h.fs.MaxWait)
+		if err != nil {
+			return vfs.Errorf("procfs: PIOCSTOP: %v", err)
+		}
+		if out, ok := arg.(*kernel.ProcStatus); ok && out != nil {
+			k.GlobalLock()
+			p.Lock()
+			*out = l.LWPStatus()
+			p.Unlock()
+			k.GlobalUnlock()
+		}
+		return nil
+
+	case PIOCWSTOP:
+		k.GlobalLock()
+		p.Lock()
+		err := check()
+		p.Unlock()
+		k.GlobalUnlock()
+		if err != nil {
+			return err
+		}
+		l, err := k.WaitStop(p, h.fs.MaxWait)
+		if err != nil {
+			return vfs.Errorf("procfs: PIOCWSTOP: %v", err)
+		}
+		if out, ok := arg.(*kernel.ProcStatus); ok && out != nil {
+			k.GlobalLock()
+			p.Lock()
+			*out = l.LWPStatus()
+			p.Unlock()
+			k.GlobalUnlock()
+		}
+		return nil
+	}
+
+	k.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		k.GlobalUnlock()
+	}()
+	if err := check(); err != nil {
 		return err
 	}
-	if h.writeOp(cmd) && h.flags&vfs.OWrite == 0 {
-		return vfs.ErrBadFD
-	}
-	// Operations that build scratch state (snapshots, map tables, watchpoint
-	// lists, descriptor images) are the ioctl layer's allocation choke
-	// point; an injected failure surfaces as EAGAIN, the paper's errno for
-	// a transiently unsatisfiable request.
-	switch cmd {
-	case PIOCACTION, PIOCMAP, PIOCGWATCH, PIOCPGD, PIOCGROUPS, PIOCOPENM:
-		if siteFaultIoctl.Hit(h.p.Pid) {
-			return vfs.ErrAgain
-		}
-	}
-	p := h.p
 	switch cmd {
 	case PIOCSTATUS:
 		st, err := p.Status()
@@ -162,27 +239,6 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 		}
 		if out, ok := arg.(*kernel.ProcStatus); ok && out != nil {
 			*out = st
-		}
-		return nil
-
-	case PIOCSTOP:
-		p.DirectStopAll()
-		l, err := h.fs.K.WaitStop(p, h.fs.MaxWait)
-		if err != nil {
-			return vfs.Errorf("procfs: PIOCSTOP: %v", err)
-		}
-		if out, ok := arg.(*kernel.ProcStatus); ok && out != nil {
-			*out = l.LWPStatus()
-		}
-		return nil
-
-	case PIOCWSTOP:
-		l, err := h.fs.K.WaitStop(p, h.fs.MaxWait)
-		if err != nil {
-			return vfs.Errorf("procfs: PIOCWSTOP: %v", err)
-		}
-		if out, ok := arg.(*kernel.ProcStatus); ok && out != nil {
-			*out = l.LWPStatus()
 		}
 		return nil
 
@@ -469,10 +525,11 @@ func (h *Handle) HIoctl(cmd int, arg interface{}) error {
 		}
 		u := PrUsage{Usage: p.Usage}
 		if p.AS != nil {
-			u.MinorFaults = p.AS.Stats.MinorFaults
-			u.COWFaults = p.AS.Stats.COWFaults
-			u.WatchRecover = p.AS.Stats.WatchRecover
-			u.StackGrows = p.AS.Stats.GrowStack
+			st := p.AS.StatsSnap()
+			u.MinorFaults = st.MinorFaults
+			u.COWFaults = st.COWFaults
+			u.WatchRecover = st.WatchRecover
+			u.StackGrows = st.GrowStack
 		}
 		*out = u
 		return nil

@@ -52,6 +52,13 @@ func PidName(pid int) string { return fmt.Sprintf("%05d", pid) }
 type rootVnode struct{ fs *FS }
 
 // VAttr implements vfs.Vnode.
+//
+// The vnode operations below are host-side entry points (debuggers, ps,
+// tests); they may run concurrently with the SMP scheduler. Process-table
+// enumeration (Proc, Procs, TableRev) is internally synchronized, but any
+// per-process state is read or written under the kernel's cross-process
+// contract — the global kernel lock plus the per-process lock, both no-ops
+// in deterministic mode.
 func (r *rootVnode) VAttr() (vfs.Attr, error) {
 	return vfs.Attr{
 		Type: vfs.VDIR, Mode: 0o555, UID: 0, GID: 0,
@@ -88,9 +95,13 @@ func (r *rootVnode) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 // processes in the system.
 func (r *rootVnode) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 	var out []vfs.Dirent
+	r.fs.K.GlobalLock()
+	defer r.fs.K.GlobalUnlock()
 	for _, p := range r.fs.K.Procs() {
 		vn := &ProcVnode{FS: r.fs, P: p}
-		attr, _ := vn.VAttr()
+		p.Lock()
+		attr, _ := vn.attrLocked()
+		p.Unlock()
 		out = append(out, vfs.Dirent{Name: PidName(p.Pid), Attr: attr})
 	}
 	return out, nil
@@ -107,6 +118,17 @@ type ProcVnode struct {
 // memory size (system processes such as 0 and 2 have no user-level address
 // space, so their sizes are zero).
 func (v *ProcVnode) VAttr() (vfs.Attr, error) {
+	v.FS.K.GlobalLock()
+	v.P.Lock()
+	attr, err := v.attrLocked()
+	v.P.Unlock()
+	v.FS.K.GlobalUnlock()
+	return attr, err
+}
+
+// attrLocked builds the attributes with the global and per-process locks
+// already held (VReadDir batches them under one global acquisition).
+func (v *ProcVnode) attrLocked() (vfs.Attr, error) {
 	return vfs.Attr{
 		Type: vfs.VPROC, Mode: 0o600,
 		UID: v.P.Cred.RUID, GID: v.P.Cred.RGID,
@@ -121,6 +143,12 @@ func (v *ProcVnode) VAttr() (vfs.Attr, error) {
 // read/write use with O_EXCL; read-only opens are unaffected by exclusivity.
 func (v *ProcVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 	p := v.P
+	v.FS.K.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		v.FS.K.GlobalUnlock()
+	}()
 	if p.State() == kernel.PGone {
 		return nil, vfs.ErrNotExist
 	}
@@ -174,16 +202,34 @@ func (h *Handle) valid() error {
 	return nil
 }
 
+// addrSpace validates the handle and returns the process's address space,
+// taking the cross-process locks around the state reads. The address-space
+// I/O itself runs outside the kernel locks: the AS serializes internally,
+// and page copies should not extend global-lock hold times.
+func (h *Handle) addrSpace() (*mem.AS, error) {
+	h.fs.K.GlobalLock()
+	h.p.Lock()
+	defer func() {
+		h.p.Unlock()
+		h.fs.K.GlobalUnlock()
+	}()
+	if err := h.valid(); err != nil {
+		return nil, err
+	}
+	if h.p.AS == nil {
+		return nil, vfs.ErrInval
+	}
+	return h.p.AS, nil
+}
+
 // HRead implements vfs.Handle: reads the process address space at the
 // virtual address given by the file offset.
 func (h *Handle) HRead(b []byte, off int64) (int, error) {
-	if err := h.valid(); err != nil {
+	as, err := h.addrSpace()
+	if err != nil {
 		return 0, err
 	}
-	if h.p.AS == nil {
-		return 0, vfs.ErrInval
-	}
-	n, err := h.p.AS.ReadAt(b, off)
+	n, err := as.ReadAt(b, off)
 	if err != nil {
 		return 0, vfs.Errorf("procfs: read at unmapped offset %#x", off)
 	}
@@ -195,16 +241,14 @@ func (h *Handle) HRead(b []byte, off int64) (int, error) {
 // copy-on-write, so planting breakpoints corrupts neither the executable
 // file nor other processes running the same code.
 func (h *Handle) HWrite(b []byte, off int64) (int, error) {
-	if err := h.valid(); err != nil {
+	as, err := h.addrSpace()
+	if err != nil {
 		return 0, err
 	}
 	if h.flags&vfs.OWrite == 0 {
 		return 0, vfs.ErrBadFD
 	}
-	if h.p.AS == nil {
-		return 0, vfs.ErrInval
-	}
-	n, err := h.p.AS.WriteAt(b, off)
+	n, err := as.WriteAt(b, off)
 	if err != nil {
 		if err == mem.ErrNoMem {
 			// A refused page materialization is a transient resource
@@ -226,6 +270,12 @@ func (h *Handle) HClose() error {
 	}
 	h.closed = true
 	p := h.p
+	h.fs.K.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		h.fs.K.GlobalUnlock()
+	}()
 	stale := h.gen != p.Trace.Gen
 	if h.flags&vfs.OWrite != 0 && !stale {
 		if h.excl {
@@ -246,7 +296,16 @@ func (h *Handle) HClose() error {
 // on an event of interest, so a debugger can wait for any one of a set of
 // controlled processes with poll(2).
 func (h *Handle) HPoll(mask int) int {
-	if h.closed || !h.p.Alive() {
+	if h.closed {
+		return 0
+	}
+	h.fs.K.GlobalLock()
+	h.p.Lock()
+	defer func() {
+		h.p.Unlock()
+		h.fs.K.GlobalUnlock()
+	}()
+	if !h.p.Alive() {
 		return 0
 	}
 	if mask&vfs.PollPri != 0 && h.p.EventStoppedLWP() != nil {

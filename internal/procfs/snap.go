@@ -63,6 +63,12 @@ func Snapshot(k *kernel.Kernel, c types.Cred, sn *PrSnap) error {
 			want[pid] = true
 		}
 	}
+	// The walk holds the global kernel lock (table order, revision and
+	// liveness are global-domain state) and takes each process's lock
+	// around its record, the cross-process contract for the per-process
+	// fields PSInfo and Usage read. Both are no-ops in deterministic mode.
+	k.GlobalLock()
+	defer k.GlobalUnlock()
 	prev := sn.Rev
 	sn.Rev = k.TableRev()
 	sn.Churned = prev != 0 && prev != sn.Rev
@@ -74,19 +80,23 @@ func Snapshot(k *kernel.Kernel, c types.Cred, sn *PrSnap) error {
 		if want != nil && !want[p.Pid] {
 			continue
 		}
+		p.Lock()
 		if !canSee(p, c) {
+			p.Unlock()
 			continue
 		}
 		rec := PrSnapRec{Info: p.PSInfo()}
 		if sn.WithUsage && p.Alive() {
 			rec.Usage = PrUsage{Usage: p.Usage}
 			if p.AS != nil {
-				rec.Usage.MinorFaults = p.AS.Stats.MinorFaults
-				rec.Usage.COWFaults = p.AS.Stats.COWFaults
-				rec.Usage.WatchRecover = p.AS.Stats.WatchRecover
-				rec.Usage.StackGrows = p.AS.Stats.GrowStack
+				st := p.AS.StatsSnap()
+				rec.Usage.MinorFaults = st.MinorFaults
+				rec.Usage.COWFaults = st.COWFaults
+				rec.Usage.WatchRecover = st.WatchRecover
+				rec.Usage.StackGrows = st.GrowStack
 			}
 		}
+		p.Unlock()
 		sn.Procs = append(sn.Procs, rec)
 	}
 	return nil

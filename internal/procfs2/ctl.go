@@ -98,15 +98,24 @@ func (fs *FS) runOneCtl(p *kernel.Proc, l *kernel.LWP, w *wire) error {
 	if w.err != nil {
 		return w.err
 	}
+	// Control messages arrive from host-side controllers that may run
+	// concurrently with the SMP scheduler, so each message applies under
+	// the kernel's cross-process locks: the global kernel lock plus the
+	// target's per-process lock (no-ops in deterministic mode). The
+	// wait-style messages are the exception — WaitStop/WaitLWPStop drive
+	// the scheduler and must run unlocked — so they are dispatched first,
+	// with only the stop directive itself under the locks.
 	switch code {
-	case PCNULL:
-		return nil
 	case PCSTOP, PCDSTOP:
+		fs.K.GlobalLock()
+		p.Lock()
 		if l != nil {
 			l.DirectStop()
 		} else {
 			p.DirectStopAll()
 		}
+		p.Unlock()
+		fs.K.GlobalUnlock()
 		if code == PCDSTOP {
 			return nil
 		}
@@ -117,6 +126,17 @@ func (fs *FS) runOneCtl(p *kernel.Proc, l *kernel.LWP, w *wire) error {
 		}
 		_, err := fs.K.WaitStop(p, fs.MaxWait)
 		return err
+	}
+
+	fs.K.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		fs.K.GlobalUnlock()
+	}()
+	switch code {
+	case PCNULL:
+		return nil
 	case PCRUN:
 		flags := w.u32()
 		pc := w.u32()

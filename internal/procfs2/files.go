@@ -22,7 +22,18 @@ func (v *fileVnode) writable() bool {
 }
 
 // VAttr implements vfs.Vnode.
+//
+// Like the flat interface, these handlers are host-side entry points that
+// may run concurrently with the SMP scheduler, so they take the global
+// kernel lock plus the per-process lock around process state — the kernel's
+// cross-process contract (both no-ops in deterministic mode).
 func (v *fileVnode) VAttr() (vfs.Attr, error) {
+	v.fs.K.GlobalLock()
+	v.p.Lock()
+	defer func() {
+		v.p.Unlock()
+		v.fs.K.GlobalUnlock()
+	}()
 	mode := uint16(0o400)
 	if v.writable() {
 		mode = 0o200
@@ -47,6 +58,12 @@ func (v *fileVnode) VAttr() (vfs.Attr, error) {
 // invalidation behave identically across the two interfaces.
 func (v *fileVnode) VOpen(flags int, c types.Cred) (vfs.Handle, error) {
 	p := v.p
+	v.fs.K.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		v.fs.K.GlobalUnlock()
+	}()
 	if p.State() == kernel.PGone {
 		return nil, vfs.ErrNotExist
 	}
@@ -134,10 +151,11 @@ func (h *fileHandle) snapshot() ([]byte, error) {
 	case FileUsage:
 		var minor, cow, watch, grow int64
 		if p.AS != nil {
-			minor = p.AS.Stats.MinorFaults
-			cow = p.AS.Stats.COWFaults
-			watch = p.AS.Stats.WatchRecover
-			grow = p.AS.Stats.GrowStack
+			st := p.AS.StatsSnap()
+			minor = st.MinorFaults
+			cow = st.COWFaults
+			watch = st.WatchRecover
+			grow = st.GrowStack
 		}
 		return EncodeUsage(p.Usage, minor, cow, watch, grow), nil
 	}
@@ -147,31 +165,51 @@ func (h *fileHandle) snapshot() ([]byte, error) {
 // HRead implements vfs.Handle. Status files return a snapshot taken at
 // offset zero; the as file reads the address space at the offset.
 func (h *fileHandle) HRead(b []byte, off int64) (int, error) {
+	k := h.v.fs.K
+	p := h.v.p
 	// psinfo works on zombies, like PIOCPSINFO; so does trace, which must be
 	// drainable after the target exits (the exit event is the last record).
 	if h.v.name == FilePSInfo || h.v.name == FileTrace {
 		if h.closed {
 			return 0, vfs.ErrBadFD
 		}
-	} else if err := h.valid(); err != nil {
-		return 0, err
+	} else {
+		k.GlobalLock()
+		p.Lock()
+		err := h.valid()
+		p.Unlock()
+		k.GlobalUnlock()
+		if err != nil {
+			return 0, err
+		}
 	}
 	switch h.v.name {
 	case FileCtl, FileLWPCtl:
 		return 0, vfs.ErrBadFD
 	case FileTrace:
-		return ringRead(h.v.p.KT, b, off)
+		k.GlobalLock()
+		defer k.GlobalUnlock()
+		return ringRead(p.KT, b, off)
 	case FileAS:
-		if h.v.p.AS == nil {
+		k.GlobalLock()
+		p.Lock()
+		as := p.AS
+		p.Unlock()
+		k.GlobalUnlock()
+		if as == nil {
 			return 0, vfs.ErrInval
 		}
-		n, err := h.v.p.AS.ReadAt(b, off)
+		n, err := as.ReadAt(b, off)
 		if err != nil {
 			return 0, vfs.Errorf("procfs2: as read at unmapped offset %#x", off)
 		}
 		return n, nil
 	}
+	k.GlobalLock()
+	p.Lock()
 	snap, err := h.snapshot()
+	p.Unlock()
+	k.GlobalUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -184,22 +222,32 @@ func (h *fileHandle) HRead(b []byte, off int64) (int, error) {
 // HWrite implements vfs.Handle: control messages for ctl files, address
 // space stores for the as file.
 func (h *fileHandle) HWrite(b []byte, off int64) (int, error) {
-	if err := h.valid(); err != nil {
-		return 0, err
+	k := h.v.fs.K
+	p := h.v.p
+	k.GlobalLock()
+	p.Lock()
+	err := h.valid()
+	if err == nil && h.flags&vfs.OWrite == 0 {
+		err = vfs.ErrBadFD
 	}
-	if h.flags&vfs.OWrite == 0 {
-		return 0, vfs.ErrBadFD
+	as := p.AS
+	p.Unlock()
+	k.GlobalUnlock()
+	if err != nil {
+		return 0, err
 	}
 	switch h.v.name {
 	case FileCtl:
+		// runCtl locks per control message (the wait-style messages drive
+		// the scheduler and must run unlocked), so it is entered bare.
 		return h.v.fs.runCtl(h.v.p, nil, b)
 	case FileLWPCtl:
 		return h.v.fs.runCtl(h.v.p, h.v.l, b)
 	case FileAS:
-		if h.v.p.AS == nil {
+		if as == nil {
 			return 0, vfs.ErrInval
 		}
-		n, err := h.v.p.AS.WriteAt(b, off)
+		n, err := as.WriteAt(b, off)
 		if err != nil {
 			if err == mem.ErrNoMem {
 				// A refused page materialization is a transient resource
@@ -224,6 +272,12 @@ func (h *fileHandle) HClose() error {
 	}
 	h.closed = true
 	p := h.v.p
+	h.v.fs.K.GlobalLock()
+	p.Lock()
+	defer func() {
+		p.Unlock()
+		h.v.fs.K.GlobalUnlock()
+	}()
 	stale := h.gen != p.Trace.Gen
 	if h.flags&vfs.OWrite != 0 && !stale {
 		if h.excl {
@@ -242,7 +296,16 @@ func (h *fileHandle) HClose() error {
 // HPoll implements vfs.Poller: ready on an event-of-interest stop. For LWP
 // files, ready when that LWP stops.
 func (h *fileHandle) HPoll(mask int) int {
-	if h.closed || !h.v.p.Alive() || mask&vfs.PollPri == 0 {
+	if h.closed || mask&vfs.PollPri == 0 {
+		return 0
+	}
+	h.v.fs.K.GlobalLock()
+	h.v.p.Lock()
+	defer func() {
+		h.v.p.Unlock()
+		h.v.fs.K.GlobalUnlock()
+	}()
+	if !h.v.p.Alive() {
 		return 0
 	}
 	if h.v.l != nil {

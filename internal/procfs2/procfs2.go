@@ -60,6 +60,11 @@ func checkOpen(p *kernel.Proc, c types.Cred) error {
 type rootDir struct{ fs *FS }
 
 // VAttr implements vfs.Vnode.
+//
+// As in the flat interface, these directory operations are host-side entry
+// points that may run concurrently with the SMP scheduler: process-table
+// walks hold the global kernel lock, per-process attribute reads add the
+// per-process lock (no-ops in deterministic mode).
 func (r *rootDir) VAttr() (vfs.Attr, error) {
 	return vfs.Attr{Type: vfs.VDIR, Mode: 0o555,
 		Size: int64(len(r.fs.K.Procs())), MTime: r.fs.K.Now(), Nlink: 2}, nil
@@ -135,6 +140,12 @@ type pidDir struct {
 
 // VAttr implements vfs.Vnode.
 func (d *pidDir) VAttr() (vfs.Attr, error) {
+	d.fs.K.GlobalLock()
+	d.p.Lock()
+	defer func() {
+		d.p.Unlock()
+		d.fs.K.GlobalUnlock()
+	}()
 	return vfs.Attr{Type: vfs.VDIR, Mode: 0o555,
 		UID: d.p.Cred.RUID, GID: d.p.Cred.RGID,
 		Size: d.p.VirtSize(), MTime: d.fs.K.Now(), Nlink: 2}, nil
@@ -178,6 +189,12 @@ type lwpDir struct {
 
 // VAttr implements vfs.Vnode.
 func (d *lwpDir) VAttr() (vfs.Attr, error) {
+	d.fs.K.GlobalLock()
+	d.p.Lock()
+	defer func() {
+		d.p.Unlock()
+		d.fs.K.GlobalUnlock()
+	}()
 	return vfs.Attr{Type: vfs.VDIR, Mode: 0o555,
 		UID: d.p.Cred.RUID, GID: d.p.Cred.RGID,
 		Size: int64(len(d.p.LiveLWPs())), MTime: d.fs.K.Now(), Nlink: 2}, nil
@@ -197,7 +214,9 @@ func (d *lwpDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 	if err != nil {
 		return nil, vfs.ErrNotExist
 	}
+	d.fs.K.GlobalLock()
 	l := d.p.LWP(id)
+	d.fs.K.GlobalUnlock()
 	if l == nil {
 		return nil, vfs.ErrNotExist
 	}
@@ -207,7 +226,10 @@ func (d *lwpDir) VLookup(name string, c types.Cred) (vfs.Vnode, error) {
 // VReadDir implements vfs.Dir.
 func (d *lwpDir) VReadDir(c types.Cred) ([]vfs.Dirent, error) {
 	var out []vfs.Dirent
-	for _, l := range d.p.LiveLWPs() {
+	d.fs.K.GlobalLock()
+	lwps := d.p.LiveLWPs()
+	d.fs.K.GlobalUnlock()
+	for _, l := range lwps {
 		sub := &lwpSubDir{fs: d.fs, p: d.p, l: l}
 		attr, _ := sub.VAttr()
 		out = append(out, vfs.Dirent{Name: fmt.Sprint(l.ID), Attr: attr})
@@ -224,6 +246,12 @@ type lwpSubDir struct {
 
 // VAttr implements vfs.Vnode.
 func (d *lwpSubDir) VAttr() (vfs.Attr, error) {
+	d.fs.K.GlobalLock()
+	d.p.Lock()
+	defer func() {
+		d.p.Unlock()
+		d.fs.K.GlobalUnlock()
+	}()
 	return vfs.Attr{Type: vfs.VDIR, Mode: 0o555,
 		UID: d.p.Cred.RUID, GID: d.p.Cred.RGID, MTime: d.fs.K.Now(), Nlink: 2}, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// budgets are skipped under it (instrumentation allocates).
+const raceEnabled = true

@@ -175,3 +175,10 @@ func (s *System) WaitExit(p *kernel.Proc) (int, error) {
 // Step advances the simulation one scheduling pass, reporting whether
 // anything ran; handy as the step function for vfs.Poll.
 func (s *System) Step() bool { return s.K.Step() }
+
+// Close retires the system's scheduler resources: with NCPU > 1 it stops
+// the persistent per-CPU worker goroutines (after which Step must not be
+// called); in deterministic mode it is a no-op. Callers that boot many SMP
+// systems (tests, benchmarks) must Close each one or the workers
+// accumulate.
+func (s *System) Close() { s.K.Shutdown() }

@@ -16,6 +16,7 @@ import (
 // exit and reaping — with families spread across four CPUs.
 func TestSMPForkWaitSignal(t *testing.T) {
 	s := repro.NewSystem(repro.Options{NCPU: 4})
+	defer s.Close()
 	const family = `
 	movi r0, SYS_fork
 	syscall
@@ -79,6 +80,7 @@ reap:
 // a wrong value and a non-zero exit.
 func TestSMPBrkShootdown(t *testing.T) {
 	s := repro.NewSystem(repro.Options{NCPU: 4})
+	defer s.Close()
 	const grower = `
 	la r6, heap
 	movi r7, 30		; iterations
