@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7 bench-json-pr8
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7 bench-json-pr8 replay-smoke bench-json-pr9
 
 build:
 	$(GO) build ./...
@@ -98,10 +98,27 @@ bench-json-pr8:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStepSMP' -label after -o BENCH_PR8.json
 	$(GO) run ./cmd/benchjson -workload 'fork_storm|syscall_mill' -wseed 1 -ncpu 4 -label after-smp4 -o BENCH_PR8.json
 
+# replay-smoke is the record/replay gate: the fault-storm soak records,
+# replays bit-identically with per-event divergence checking, and the dbg
+# time-travel REPL reverse-continues to the injected fault and reverse-steps
+# through its neighborhood. REPRO_CKPT sets the checkpoint interval in
+# scheduler passes (smaller = cheaper reverse motion, more snapshot memory).
+replay-smoke:
+	$(GO) test -count=1 -run 'TestRecordReplayBitIdentical|TestReplaySmoke' ./internal/replay/
+	$(GO) run ./cmd/dbg -record .replay-smoke.rec
+	printf 'i\nb fault\nc\nrc\nrs\nrs\nev 5\nps\nq\n' | REPRO_CKPT=16 $(GO) run ./cmd/dbg -replay .replay-smoke.rec
+	rm -f .replay-smoke.rec
+
+# bench-json-pr9 records the record/replay overhead as BENCH_PR9.json:
+# BenchmarkKernelStepRecorded (tracing plus the recorder tap) against
+# BenchmarkKernelStepTraced from the PR 1 tracing baseline.
+bench-json-pr9:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStep(Traced|Recorded)$$' -label after -o BENCH_PR9.json
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
-# the fault-matrix smoke, the workload smoke, the SMP race suite, and the
-# benchmark smoke runs.
-verify: build test race vet fault-smoke workload-smoke verify-smp bench-smoke bench-json-smoke
+# the fault-matrix smoke, the workload smoke, the SMP race suite, the
+# record/replay smoke, and the benchmark smoke runs.
+verify: build test race vet fault-smoke workload-smoke verify-smp replay-smoke bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

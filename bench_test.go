@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/procfs"
 	"repro/internal/procfs2"
+	"repro/internal/replay"
 	"repro/internal/rfs"
 	"repro/internal/tools"
 	"repro/internal/types"
@@ -962,6 +963,24 @@ func BenchmarkKernelStepTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// The same hot path with the replay recorder attached: tracing plus the tap
+// copying every event and its step ordinal into the artifact. The margin
+// over BenchmarkKernelStepTraced is the whole cost of recording; the budget
+// is ~10%.
+func BenchmarkKernelStepRecorded(b *testing.B) {
+	rec := replay.NewRecorder(replay.Options{KTCap: 1 << 16})
+	if err := rec.Install("/bin/kr", benchSpin, 0o755, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rec.Spawn("/bin/kr", nil, types.UserCred(100, 10)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Step()
 	}
 }
 

@@ -29,8 +29,8 @@ import (
 
 // defaultBench selects the benchmarks that characterize the vCPU memory
 // pipeline and the /proc control surface.
-const defaultBench = "BenchmarkKernelStep$|BenchmarkKernelStepTraced$|BenchmarkASRead64K_Proc$|" +
-	"BenchmarkCOWFault$|BenchmarkBreakpoints_Proc$|BenchmarkWatchpointNoWatch$"
+const defaultBench = "BenchmarkKernelStep$|BenchmarkKernelStepTraced$|BenchmarkKernelStepRecorded$|" +
+	"BenchmarkASRead64K_Proc$|BenchmarkCOWFault$|BenchmarkBreakpoints_Proc$|BenchmarkWatchpointNoWatch$"
 
 // Result is one benchmark's parsed measurements.
 type Result struct {
@@ -38,7 +38,23 @@ type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
+	Commit      string             `json:"commit,omitempty"`
+	Warning     string             `json:"warning,omitempty"`
 	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// commit is the working tree's HEAD at run time, resolved once in main; a
+// result file found months later can be pinned back to the code it measured.
+var commit string
+
+// gitCommit returns the short hash of HEAD, or "" when git or the
+// repository is unavailable (the results are still usable, just unpinned).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchLine matches one line of go test -bench output: the name, the
@@ -100,8 +116,11 @@ func toResult(res workload.Result) Result {
 }
 
 // annotateHost stamps a result with the execution environment — host CPU
-// count, GOMAXPROCS and (when SMP) the simulated CPU count — so a scaling
-// curve recorded on one machine is interpretable on another.
+// count, GOMAXPROCS, (when SMP) the simulated CPU count, and the git commit
+// — so a scaling curve recorded on one machine is interpretable on another.
+// A simulated-SMP run on a single-core host gets an explicit warning: the
+// workers cannot actually run in parallel, so the timings measure
+// contention, not scaling.
 func annotateHost(r *Result, ncpu int) {
 	if r.Extra == nil {
 		r.Extra = make(map[string]float64)
@@ -110,6 +129,11 @@ func annotateHost(r *Result, ncpu int) {
 	r.Extra["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
 	if ncpu > 1 {
 		r.Extra["ncpu"] = float64(ncpu)
+	}
+	r.Commit = commit
+	if ncpu > 1 && runtime.NumCPU() == 1 {
+		r.Warning = fmt.Sprintf(
+			"host has 1 CPU but -ncpu %d: SMP workers cannot run in parallel; timings measure contention, not scaling", ncpu)
 	}
 }
 
@@ -194,6 +218,7 @@ func main() {
 	wseed := flag.Int64("wseed", 1, "workload: scenario seed")
 	ncpu := flag.Int("ncpu", 0, "scheduler CPUs: 0 = deterministic default; above 1 runs the SMP scheduler (workloads directly, micro benchmarks via REPRO_NCPU)")
 	flag.Parse()
+	commit = gitCommit()
 
 	var results map[string]Result
 	if *wl != "" {

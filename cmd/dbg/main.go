@@ -18,6 +18,10 @@
 //
 // Given a file argument, the file is assembled and debugged; otherwise a
 // built-in demonstration program is used.
+//
+// With -replay <artifact>, dbg instead loads a recording produced by the
+// replay recorder and opens the time-travel REPL (see replay.go): goto,
+// reverse-step, reverse-continue, event breakpoints, memory watchpoints.
 package main
 
 import (
@@ -61,6 +65,14 @@ main:
 `
 
 func main() {
+	if len(os.Args) > 2 && os.Args[1] == "-replay" {
+		replayMain(os.Args[2])
+		return
+	}
+	if len(os.Args) > 2 && os.Args[1] == "-record" {
+		recordMain(os.Args[2])
+		return
+	}
 	src := demo
 	name := "demo"
 	isBSL := false

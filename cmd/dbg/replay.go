@@ -1,0 +1,271 @@
+// Time-travel mode: dbg -replay <artifact> loads a recording made by the
+// replay recorder and opens a REPL that can move through the run in either
+// direction. Reverse motion is nearest-checkpoint restore plus forward
+// re-execution; breakpoints are classes of recorded trace events, and
+// watchpoints compare process memory pass by pass. dbg -record <artifact>
+// records the built-in fault-storm demonstration for the REPL to chew on.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ktrace"
+	"repro/internal/procfs2"
+	"repro/internal/replay"
+	"repro/internal/types"
+)
+
+const replayHelp = `commands:
+  i                     recording summary (steps, events, ops, checkpoints)
+  g <step>              goto a step ordinal (forward or backward)
+  s [n]                 step forward n passes (default 1)
+  rs [n]                reverse-step n passes (default 1)
+  c                     continue to the next breakpoint/watchpoint hit
+  rc                    reverse-continue to the previous hit
+  b <kind> [what] [pid] breakpoint: fault|sigpost|sigdeliver|sysentry|sysexit|
+                        fork|exit|any; what/pid narrow it (what=N pid=N)
+  w <pid> <hexaddr> <n> watch n bytes of pid's memory
+  bl                    list breakpoints and watchpoints
+  bd                    delete all breakpoints and watchpoints
+  ev [n]                show the last n recorded events up to here (default 10)
+  ps                    process table at the current position
+  q                     quit`
+
+// breakKinds maps REPL names onto trace event classes; "any" matches every
+// kind and is useful with a pid filter.
+var breakKinds = map[string]ktrace.Kind{
+	"any":        ktrace.KNone,
+	"sysentry":   ktrace.KSysEntry,
+	"syscall":    ktrace.KSysEntry,
+	"sysexit":    ktrace.KSysExit,
+	"fault":      ktrace.KFault,
+	"sigpost":    ktrace.KSigPost,
+	"signal":     ktrace.KSigPost,
+	"sigdeliver": ktrace.KSigDeliver,
+	"fork":       ktrace.KFork,
+	"exit":       ktrace.KExit,
+}
+
+// stormSrc is the demonstration workload for -record: fork twice, one child
+// sleeps and exits, the other dies on a division fault, the parent reaps
+// both — every trace event kind in one program.
+const stormSrc = `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_sleep	; first child naps then exits
+	movi r1, 40
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_fork	; second child crashes
+	syscall
+	cmpi r0, 0
+	jne reap
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+reap:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`
+
+// recordMain records the demonstration fault-storm soak: two process
+// families, a pid-scoped fault plan on the first, a control-message kill of
+// the second, and enough unconditional passes to ride the clock through the
+// sleepers' naps.
+func recordMain(path string) {
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbg:", err)
+			os.Exit(1)
+		}
+	}
+	rec := replay.NewRecorder(replay.Options{})
+	die(rec.Install("/bin/family", stormSrc, 0o755, 0, 0))
+	p0, err := rec.Spawn("/bin/family", []string{"family"}, types.UserCred(100, 10))
+	die(err)
+	die(rec.ArmFaults(fmt.Sprintf("kernel.fork nth=2 pid=%d", p0.Pid)))
+	for i := 0; i < 20; i++ {
+		rec.Step()
+	}
+	p1, err := rec.Spawn("/bin/family", []string{"family"}, types.UserCred(101, 10))
+	die(err)
+	for i := 0; i < 3; i++ {
+		rec.Step()
+	}
+	die(rec.Ctl(p1.Pid, (&procfs2.CtlBuf{}).Kill(types.SIGUSR1).Bytes()))
+	_, err = rec.WaitExit(p0)
+	die(err)
+	_, err = rec.WaitExit(p1)
+	die(err)
+	for i := 0; i < 80; i++ {
+		rec.Step()
+	}
+	art, err := rec.Finish()
+	die(err)
+	die(art.WriteFile(path))
+	fmt.Printf("recorded %d steps, %d events, %d ops to %s\n",
+		art.Steps, len(art.Events), len(art.Ops), path)
+}
+
+func replayMain(path string) {
+	art, err := replay.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbg:", err)
+		os.Exit(1)
+	}
+	rp := replay.NewReplayer(art)
+	sess := replay.NewSession(rp)
+	fmt.Printf("replaying %s: %d steps, %d events, %d ops; 'i' 'c' 'rc' 'g <step>' 'q'\n",
+		path, art.Steps, len(art.Events), len(art.Ops))
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("replay:%d> ", rp.Step())
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q":
+			return
+		case "h", "help", "?":
+			fmt.Println(replayHelp)
+		case "i":
+			fmt.Printf("steps %d/%d  events %d  ops %d  checkpoints %v\n",
+				rp.Step(), rp.Steps(), len(art.Events), len(art.Ops), rp.Checkpoints())
+		case "g":
+			if len(fields) < 2 {
+				fmt.Println("usage: g <step>")
+				continue
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := rp.Goto(n); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "s", "rs":
+			n := 1
+			if len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			for i := 0; i < n; i++ {
+				var err error
+				if fields[0] == "s" {
+					err = sess.StepForward()
+				} else {
+					err = sess.ReverseStep()
+				}
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			}
+		case "c", "rc":
+			var stop *replay.Stop
+			var err error
+			if fields[0] == "c" {
+				stop, err = sess.Continue()
+			} else {
+				stop, err = sess.ReverseContinue()
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(stop)
+		case "b":
+			if len(fields) < 2 {
+				fmt.Println("usage: b <kind> [what=N] [pid=N]")
+				continue
+			}
+			kind, ok := breakKinds[fields[1]]
+			if !ok {
+				fmt.Println("unknown event kind:", fields[1])
+				continue
+			}
+			bp := replay.Breakpoint{Kind: kind, What: -1}
+			for _, f := range fields[2:] {
+				if v, ok := strings.CutPrefix(f, "what="); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						bp.What = int32(n)
+					}
+				}
+				if v, ok := strings.CutPrefix(f, "pid="); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						bp.Pid = n
+					}
+				}
+			}
+			sess.Breaks = append(sess.Breaks, bp)
+			fmt.Printf("breakpoint %d: %s\n", len(sess.Breaks)-1, bp)
+		case "w":
+			if len(fields) < 4 {
+				fmt.Println("usage: w <pid> <hexaddr> <len>")
+				continue
+			}
+			pid, err1 := strconv.Atoi(fields[1])
+			addr, err2 := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 32)
+			n, err3 := strconv.ParseUint(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil || n == 0 {
+				fmt.Println("usage: w <pid> <hexaddr> <len>")
+				continue
+			}
+			w := &replay.Watch{Pid: pid, Addr: uint32(addr), Len: uint32(n)}
+			sess.Watches = append(sess.Watches, w)
+			fmt.Printf("watchpoint %d: %s\n", len(sess.Watches)-1, w)
+		case "bl":
+			for i, b := range sess.Breaks {
+				fmt.Printf("break %d: %s\n", i, b)
+			}
+			for i, w := range sess.Watches {
+				fmt.Printf("watch %d: %s\n", i, w)
+			}
+		case "bd":
+			sess.Breaks, sess.Watches = nil, nil
+		case "ev":
+			n := 10
+			if len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			// The events recorded up to (not including) the current step are
+			// the ones that have "already happened" here.
+			end := 0
+			for end < len(art.Events) && art.EvSteps[end] < rp.Step() {
+				end++
+			}
+			for i := max(0, end-n); i < end; i++ {
+				fmt.Printf("[%d @step %d] %s\n", i, art.EvSteps[i], replay.FmtEvent(art.Events[i]))
+			}
+		case "ps":
+			os.Stdout.Write(replay.EncodeTable(rp.System().K))
+		default:
+			fmt.Println("unknown command:", fields[0], "('h' for help)")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package fault
+
+// SiteState is the complete saved state of one site: the armed plan (if
+// any), its decision counters, and the cumulative statistics. Restoring it
+// rewinds the site to exactly that point in its decision stream, so a plan
+// keyed to hit ordinals re-fires at the same ordinals after a whole-kernel
+// checkpoint restore — without this, a storm replayed across a restore
+// would inject at shifted points and diverge.
+type SiteState struct {
+	Name     string
+	Armed    bool
+	Spec     Spec
+	N        uint64 // matching hits under the current plan
+	Inj      uint64 // injections under the current plan
+	RNG      uint64 // xorshift64 state for Prob decisions
+	Hits     uint64 // cumulative hits while armed
+	Injected uint64 // cumulative injections
+}
+
+// SaveState captures the site's plan and counters.
+func (s *Site) SaveState() SiteState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SiteState{Name: s.name, Hits: s.hits.Load(), Injected: s.injected.Load()}
+	if pl := s.p.Load(); pl != nil {
+		st.Armed = true
+		st.Spec = pl.spec
+		st.N, st.Inj, st.RNG = pl.n, pl.inj, pl.rng
+	}
+	return st
+}
+
+// LoadState restores a previously saved state, including mid-plan decision
+// counters (unlike Arm, which starts the plan fresh).
+func (s *Site) LoadState(st SiteState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits.Store(st.Hits)
+	s.injected.Store(st.Injected)
+	if st.Armed {
+		s.p.Store(&plan{spec: st.Spec, n: st.N, inj: st.Inj, rng: st.RNG})
+	} else {
+		s.p.Store(nil)
+	}
+}
+
+// SaveState captures every registered site, in registration order. Sites
+// register once at package init, so the slice covers the whole registry.
+func (r *Registry) SaveState() []SiteState {
+	sites := r.Sites()
+	out := make([]SiteState, len(sites))
+	for i, s := range sites {
+		out[i] = s.SaveState()
+	}
+	return out
+}
+
+// LoadState restores a saved registry state. Sites named in the state are
+// restored exactly; registered sites absent from it are disarmed and
+// zeroed, so the registry as a whole matches the capture point. Unknown
+// names are ignored (a state recorded by a build with fewer sites still
+// loads).
+func (r *Registry) LoadState(states []SiteState) {
+	byName := make(map[string]SiteState, len(states))
+	for _, st := range states {
+		byName[st.Name] = st
+	}
+	for _, s := range r.Sites() {
+		if st, ok := byName[s.Name()]; ok {
+			s.LoadState(st)
+		} else {
+			s.LoadState(SiteState{Name: s.Name()})
+		}
+	}
+}

@@ -118,6 +118,12 @@ type Kernel struct {
 	KT           *ktrace.Ring
 	KTDefaultCap int
 	ktStats      ktrace.Stats
+	// KTTap, if set, observes every emitted trace event before it is
+	// appended to any ring (so the Seq field is not yet stamped). Unlike
+	// the bounded rings it never drops, which is what lets the record/
+	// replay subsystem capture and verify the complete stream. Only
+	// consulted on the traced path; costs nothing when tracing is off.
+	KTTap func(e *ktrace.Event)
 }
 
 // New creates a kernel over a name space. The conventional system processes
@@ -207,17 +213,26 @@ func (k *Kernel) GlobalUnlock() {
 	}
 }
 
-// Shutdown retires the persistent SMP worker goroutines. It must be called
-// from the (single) scheduler-driving goroutine between passes; after it
-// returns, Step panics on the closed channel, so Shutdown ends the kernel's
-// life. Deterministic kernels have no workers and Shutdown is a no-op.
-// It is idempotent.
+// Shutdown retires the persistent SMP worker goroutines and ends the
+// kernel's life: after it returns, Step panics. Deterministic kernels have
+// no workers and Shutdown is a no-op. It is idempotent and safe to call
+// from multiple goroutines — checkpoint/replay tears kernels down
+// repeatedly, and a System.Close may race a deferred cleanup.
 func (k *Kernel) Shutdown() {
-	if k.smp == nil || !k.smp.started {
+	if k.smp == nil {
 		return
 	}
-	k.smp.started = false
-	close(k.smp.work)
+	s := k.smp
+	s.shutMu.Lock()
+	defer s.shutMu.Unlock()
+	if s.down {
+		return
+	}
+	s.down = true
+	if s.started {
+		s.started = false
+		close(s.work)
+	}
 }
 
 // pidShardOf returns the shard holding pid.

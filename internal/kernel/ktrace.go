@@ -66,6 +66,9 @@ func (k *Kernel) ktEmit(p *Proc, e *ktrace.Event) {
 	e.Time = k.Now()
 	e.Pid = int32(p.Pid)
 	k.ktStats.Count(e.Kind, e.What)
+	if k.KTTap != nil {
+		k.KTTap(e)
+	}
 	if p.KT != nil {
 		p.KT.Append(e)
 		// Accumulate this ring's drops incrementally so the kernel-wide

@@ -104,7 +104,12 @@ type smpState struct {
 	work    chan struct{}
 	done    chan bool
 	started bool
-	pass    uint64 // pass ordinal; also keys the steal-victim rotation
+	// shutMu serializes Shutdown against concurrent callers; down marks
+	// the kernel dead, so a Shutdown that lands before the lazy worker
+	// start still prevents it.
+	shutMu sync.Mutex
+	down   bool
+	pass   uint64 // pass ordinal; also keys the steal-victim rotation
 }
 
 func newSMP(k *Kernel, n int) *smpState {
@@ -297,8 +302,15 @@ func (k *Kernel) shootdown(as *mem.AS) {
 // persistent worker goroutines.
 func (k *Kernel) stepSMP() bool {
 	s := k.smp
-	if !s.started {
-		s.started = true
+	s.shutMu.Lock()
+	if s.down {
+		s.shutMu.Unlock()
+		panic("kernel: Step after Shutdown")
+	}
+	start := !s.started
+	s.started = true
+	s.shutMu.Unlock()
+	if start {
 		for _, w := range s.cpus {
 			go k.smpWorker(w)
 		}

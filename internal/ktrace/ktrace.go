@@ -308,6 +308,19 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
+// Clone returns an independent deep copy of the ring: same capacity,
+// retained events, sequence numbering and drop count. Whole-kernel
+// checkpoints use it to freeze a trace stream without aliasing the live
+// buffer.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{cap: r.cap, start: r.start, next: r.next, dropped: r.dropped}
+	if r.buf != nil {
+		c.buf = make([]Event, len(r.buf), cap(r.buf))
+		copy(c.buf, r.buf)
+	}
+	return c
+}
+
 // Resize changes the capacity, keeping the most recent events that fit.
 // The sequence numbering and dropped count are preserved; events shed by a
 // shrink count as dropped.

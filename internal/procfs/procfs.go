@@ -314,7 +314,19 @@ func (h *Handle) HPoll(mask int) int {
 	return 0
 }
 
+// HSaveState / HLoadState implement vfs.HandleSnapshotter: the only
+// mutable per-open state is the closed flag (gen, excl and flags are fixed
+// at open; the writer accounting they feed lives in the Proc, which the
+// kernel snapshot covers).
+func (h *Handle) HSaveState() any      { return h.closed }
+func (h *Handle) HLoadState(st any) {
+	if c, ok := st.(bool); ok {
+		h.closed = c
+	}
+}
+
 var (
-	_ vfs.Handle = (*Handle)(nil)
-	_ vfs.Poller = (*Handle)(nil)
+	_ vfs.Handle           = (*Handle)(nil)
+	_ vfs.Poller           = (*Handle)(nil)
+	_ vfs.HandleSnapshotter = (*Handle)(nil)
 )

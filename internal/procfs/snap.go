@@ -135,3 +135,11 @@ func (h *rootHandle) HClose() error {
 	h.closed = true
 	return nil
 }
+
+// HSaveState / HLoadState implement vfs.HandleSnapshotter.
+func (h *rootHandle) HSaveState() any { return h.closed }
+func (h *rootHandle) HLoadState(st any) {
+	if c, ok := st.(bool); ok {
+		h.closed = c
+	}
+}

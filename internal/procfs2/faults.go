@@ -80,3 +80,11 @@ func (h *rootFaultsHandle) HClose() error {
 	h.closed = true
 	return nil
 }
+
+// HSaveState / HLoadState implement vfs.HandleSnapshotter.
+func (h *rootFaultsHandle) HSaveState() any { return h.closed }
+func (h *rootFaultsHandle) HLoadState(st any) {
+	if c, ok := st.(bool); ok {
+		h.closed = c
+	}
+}

@@ -320,7 +320,17 @@ func (h *fileHandle) HPoll(mask int) int {
 	return 0
 }
 
+// HSaveState / HLoadState implement vfs.HandleSnapshotter; as with the
+// flat interface, the closed flag is the only mutable per-open state.
+func (h *fileHandle) HSaveState() any { return h.closed }
+func (h *fileHandle) HLoadState(st any) {
+	if c, ok := st.(bool); ok {
+		h.closed = c
+	}
+}
+
 var (
-	_ vfs.Handle = (*fileHandle)(nil)
-	_ vfs.Poller = (*fileHandle)(nil)
+	_ vfs.Handle            = (*fileHandle)(nil)
+	_ vfs.Poller            = (*fileHandle)(nil)
+	_ vfs.HandleSnapshotter = (*fileHandle)(nil)
 )

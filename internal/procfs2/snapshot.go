@@ -85,3 +85,22 @@ func (h *rootSnapHandle) HClose() error {
 	h.closed = true
 	return nil
 }
+
+// snapHandleState is the checkpointed per-open state: the closed flag and
+// the coherent-snapshot cache a paging reader is in the middle of.
+type snapHandleState struct {
+	closed bool
+	buf    []byte
+}
+
+// HSaveState / HLoadState implement vfs.HandleSnapshotter.
+func (h *rootSnapHandle) HSaveState() any {
+	return snapHandleState{closed: h.closed, buf: append([]byte(nil), h.buf...)}
+}
+
+func (h *rootSnapHandle) HLoadState(st any) {
+	if s, ok := st.(snapHandleState); ok {
+		h.closed = s.closed
+		h.buf = append([]byte(nil), s.buf...)
+	}
+}

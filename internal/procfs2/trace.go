@@ -109,3 +109,11 @@ func (h *rootTraceHandle) HClose() error {
 	h.closed = true
 	return nil
 }
+
+// HSaveState / HLoadState implement vfs.HandleSnapshotter.
+func (h *rootTraceHandle) HSaveState() any { return h.closed }
+func (h *rootTraceHandle) HLoadState(st any) {
+	if c, ok := st.(bool); ok {
+		h.closed = c
+	}
+}

@@ -1,0 +1,435 @@
+// Package replay is the record/replay subsystem: it captures one
+// deterministic run of a simulated system — the boot configuration plus the
+// complete stream of nondeterministic inputs (host-side installs, spawns,
+// fault-plan arms, /procx control writes, RFS requests), keyed by the step
+// ordinal at which each arrived — into a self-describing artifact, and
+// reconstructs a bit-identical run from it. The kernel itself is
+// deterministic at NCPU=1; everything that is not the kernel enters through
+// a narrow set of host operations, and those are exactly what the artifact
+// records.
+//
+// Replays verify themselves as they go: every trace event the re-execution
+// emits is compared against the recorded stream, so a divergence is caught
+// at the emitting step, not at the end. Whole-kernel checkpoints taken every
+// K steps during replay make arbitrary rewinds cheap — restore the nearest
+// checkpoint at or before the target and re-execute forward — which is what
+// the time-travel commands in cmd/dbg are built on.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/ktrace"
+	"repro/internal/types"
+)
+
+// Magic opens every artifact file.
+const Magic = "REPROREC"
+
+// Version is the artifact format version this package writes. Readers
+// reject any other major version outright: a replay against a
+// misinterpreted input stream would "diverge" for codec reasons, which is
+// worse than an error.
+const Version = 1
+
+// OpKind classifies one recorded host operation.
+type OpKind uint8
+
+// The host-operation vocabulary. Everything a driving program can do to a
+// recorded system goes through one of these.
+const (
+	OpInstall    OpKind = 1 // assemble Data (source) and install at Path
+	OpInstallBSL OpKind = 2 // compile Data (bsl source) and install at Path
+	OpWriteFile  OpKind = 3 // write Data at Path verbatim
+	OpSpawn      OpKind = 4 // spawn Path with Args under Cred; Pid is the recorded result
+	OpFaults     OpKind = 5 // apply Data as a fault-plan command script
+	OpCtl        OpKind = 6 // write Data to /procx/<Pid>/ctl as root (open-act-close)
+	OpRFS        OpKind = 7 // serve raw request Data; Resp is the recorded response
+)
+
+var opNames = map[OpKind]string{
+	OpInstall: "install", OpInstallBSL: "installbsl", OpWriteFile: "writefile",
+	OpSpawn: "spawn", OpFaults: "faults", OpCtl: "ctl", OpRFS: "rfs",
+}
+
+// String names the kind.
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("op#%d", uint8(k))
+}
+
+// Op is one recorded host operation. Step is the number of completed
+// scheduler passes when the operation ran; replay applies it at the same
+// ordinal, before the pass that follows it. Unused fields are zero.
+type Op struct {
+	Step uint64
+	Kind OpKind
+
+	Path string
+	Data []byte
+	Resp []byte // OpRFS: the recorded response
+	Args []string
+	Mode uint16
+	UID  int
+	GID  int
+	Cred types.Cred
+	Pid  int // OpSpawn: recorded result; OpCtl: target
+}
+
+// Artifact is one recorded run: the boot configuration, the ordered host
+// operations, the full trace stream the run emitted (with, per event, the
+// step ordinal during which it fired), and the final counters and process
+// table the replayer verifies against.
+type Artifact struct {
+	PageSize   int
+	Quantum    int
+	KTCap      int // kernel-wide trace ring capacity
+	NoInit     bool
+	StartClock int64  // simulated clock when recording began
+	Steps      uint64 // total scheduler passes recorded
+
+	Ops     []Op
+	Events  []ktrace.Event
+	EvSteps []uint64 // per-event: completed passes when it fired
+
+	Stats ktrace.Stats // final tracing counters
+	Table []byte       // final process-table dump (EncodeTable)
+}
+
+// Section tags. Unknown tags are skipped on read, so later versions can add
+// sections without breaking this reader.
+const (
+	secHeader = 1
+	secOps    = 2
+	secEvents = 3
+	secFinal  = 4
+)
+
+// Codec errors.
+var (
+	ErrBadMagic  = errors.New("replay: not a replay artifact (bad magic)")
+	ErrTruncated = errors.New("replay: truncated artifact")
+)
+
+// wbuf is the artifact writer: append-only big-endian primitives.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) { w.b = append(w.b, byte(v>>8), byte(v)) }
+func (w *wbuf) u32(v uint32) {
+	w.b = append(w.b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (w *wbuf) u64(v uint64) { w.u32(uint32(v >> 32)); w.u32(uint32(v)) }
+func (w *wbuf) i32(v int)    { w.u32(uint32(int32(v))) }
+func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
+func (w *wbuf) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+func (w *wbuf) str(s string) { w.bytes([]byte(s)) }
+func (w *wbuf) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// rbuf is the artifact reader: sequential big-endian primitives with sticky
+// error handling, so decoders read straight through and check once.
+type rbuf struct {
+	b   []byte
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+func (r *rbuf) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+func (r *rbuf) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := uint16(r.b[0])<<8 | uint16(r.b[1])
+	r.b = r.b[2:]
+	return v
+}
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := uint32(r.b[0])<<24 | uint32(r.b[1])<<16 | uint32(r.b[2])<<8 | uint32(r.b[3])
+	r.b = r.b[4:]
+	return v
+}
+func (r *rbuf) u64() uint64 { return uint64(r.u32())<<32 | uint64(r.u32()) }
+func (r *rbuf) i32() int    { return int(int32(r.u32())) }
+func (r *rbuf) i64() int64  { return int64(r.u64()) }
+func (r *rbuf) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return v
+}
+func (r *rbuf) str() string { return string(r.bytes()) }
+func (r *rbuf) bool() bool  { return r.u8() != 0 }
+
+// Marshal serializes the artifact.
+func (a *Artifact) Marshal() []byte {
+	w := &wbuf{}
+	w.b = append(w.b, Magic...)
+	w.u32(Version)
+
+	section(w, secHeader, func(w *wbuf) {
+		w.i32(a.PageSize)
+		w.i32(a.Quantum)
+		w.i32(a.KTCap)
+		w.bool(a.NoInit)
+		w.i64(a.StartClock)
+		w.u64(a.Steps)
+	})
+	section(w, secOps, func(w *wbuf) {
+		w.u32(uint32(len(a.Ops)))
+		for i := range a.Ops {
+			op := &a.Ops[i]
+			w.u64(op.Step)
+			w.u8(uint8(op.Kind))
+			w.str(op.Path)
+			w.bytes(op.Data)
+			w.bytes(op.Resp)
+			w.u32(uint32(len(op.Args)))
+			for _, s := range op.Args {
+				w.str(s)
+			}
+			w.u16(op.Mode)
+			w.i32(op.UID)
+			w.i32(op.GID)
+			encodeCred(w, op.Cred)
+			w.i32(op.Pid)
+		}
+	})
+	section(w, secEvents, func(w *wbuf) {
+		w.u64(uint64(len(a.Events)))
+		for i, e := range a.Events {
+			w.u64(a.EvSteps[i])
+			w.b = ktrace.AppendEncode(w.b, e)
+		}
+	})
+	section(w, secFinal, func(w *wbuf) {
+		w.u64(a.Stats.Emitted)
+		w.u64(a.Stats.Dropped)
+		var nz uint32
+		for _, c := range a.Stats.PerSys {
+			if c != 0 {
+				nz++
+			}
+		}
+		w.u32(nz)
+		for sys, c := range a.Stats.PerSys {
+			if c != 0 {
+				w.u32(uint32(sys))
+				w.u64(c)
+			}
+		}
+		w.bytes(a.Table)
+	})
+	return w.b
+}
+
+// section writes one tagged, length-prefixed section.
+func section(w *wbuf, tag uint32, body func(*wbuf)) {
+	w.u32(tag)
+	lenAt := len(w.b)
+	w.u64(0) // patched below
+	body(w)
+	n := uint64(len(w.b) - lenAt - 8)
+	for i := 0; i < 8; i++ {
+		w.b[lenAt+i] = byte(n >> (56 - 8*i))
+	}
+}
+
+// Unmarshal parses an artifact, rejecting truncation, corruption and
+// version skew with distinct errors.
+func Unmarshal(b []byte) (*Artifact, error) {
+	if len(b) < len(Magic)+4 {
+		return nil, ErrTruncated
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	r := &rbuf{b: b[len(Magic):]}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("replay: artifact version %d unsupported (this build reads version %d)", v, Version)
+	}
+	a := &Artifact{}
+	var haveHeader, haveOps, haveEvents, haveFinal bool
+	for len(r.b) > 0 && r.err == nil {
+		tag := r.u32()
+		n := r.u64()
+		if r.err != nil || n > uint64(len(r.b)) {
+			return nil, ErrTruncated
+		}
+		body := &rbuf{b: r.b[:n]}
+		r.b = r.b[n:]
+		switch tag {
+		case secHeader:
+			a.PageSize = body.i32()
+			a.Quantum = body.i32()
+			a.KTCap = body.i32()
+			a.NoInit = body.bool()
+			a.StartClock = body.i64()
+			a.Steps = body.u64()
+			haveHeader = true
+		case secOps:
+			cnt := int(body.u32())
+			if body.err == nil && cnt > len(body.b) {
+				return nil, fmt.Errorf("replay: corrupt artifact: %d ops in %d-byte section", cnt, len(body.b))
+			}
+			for i := 0; i < cnt && body.err == nil; i++ {
+				var op Op
+				op.Step = body.u64()
+				op.Kind = OpKind(body.u8())
+				op.Path = body.str()
+				op.Data = body.bytes()
+				op.Resp = body.bytes()
+				na := int(body.u32())
+				if body.err == nil && na > len(body.b) {
+					return nil, fmt.Errorf("replay: corrupt artifact: %d spawn args in %d-byte section", na, len(body.b))
+				}
+				for j := 0; j < na && body.err == nil; j++ {
+					op.Args = append(op.Args, body.str())
+				}
+				op.Mode = body.u16()
+				op.UID = body.i32()
+				op.GID = body.i32()
+				op.Cred = decodeCred(body)
+				op.Pid = body.i32()
+				if body.err == nil {
+					if _, ok := opNames[op.Kind]; !ok {
+						return nil, fmt.Errorf("replay: corrupt artifact: unknown op kind %d", uint8(op.Kind))
+					}
+					a.Ops = append(a.Ops, op)
+				}
+			}
+			haveOps = true
+		case secEvents:
+			cnt := body.u64()
+			if body.err == nil && cnt > uint64(len(body.b))/(8+ktrace.EventSize) {
+				return nil, fmt.Errorf("replay: corrupt artifact: %d events in %d-byte section", cnt, len(body.b))
+			}
+			for i := uint64(0); i < cnt && body.err == nil; i++ {
+				step := body.u64()
+				if body.err != nil || len(body.b) < ktrace.EventSize {
+					body.fail()
+					break
+				}
+				e, err := ktrace.DecodeEvent(body.b[:ktrace.EventSize])
+				if err != nil {
+					return nil, fmt.Errorf("replay: corrupt artifact: event %d: %v", i, err)
+				}
+				body.b = body.b[ktrace.EventSize:]
+				a.Events = append(a.Events, e)
+				a.EvSteps = append(a.EvSteps, step)
+			}
+			haveEvents = true
+		case secFinal:
+			a.Stats.Emitted = body.u64()
+			a.Stats.Dropped = body.u64()
+			nz := int(body.u32())
+			if body.err == nil && nz > len(body.b) {
+				return nil, fmt.Errorf("replay: corrupt artifact: %d histogram entries in %d-byte section", nz, len(body.b))
+			}
+			for i := 0; i < nz && body.err == nil; i++ {
+				sys := body.u32()
+				c := body.u64()
+				if body.err == nil {
+					if sys >= ktrace.MaxSysHist {
+						return nil, fmt.Errorf("replay: corrupt artifact: syscall %d out of histogram range", sys)
+					}
+					a.Stats.PerSys[sys] = c
+				}
+			}
+			a.Table = body.bytes()
+			haveFinal = true
+		default:
+			// An unknown section from a future minor revision: skip it.
+		}
+		if body.err != nil {
+			return nil, body.err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !haveHeader || !haveOps || !haveEvents || !haveFinal {
+		return nil, fmt.Errorf("replay: incomplete artifact (header=%v ops=%v events=%v final=%v)",
+			haveHeader, haveOps, haveEvents, haveFinal)
+	}
+	if len(a.Events) != len(a.EvSteps) {
+		return nil, errors.New("replay: corrupt artifact: event/step count mismatch")
+	}
+	return a, nil
+}
+
+func encodeCred(w *wbuf, c types.Cred) {
+	w.i32(c.RUID)
+	w.i32(c.EUID)
+	w.i32(c.SUID)
+	w.i32(c.RGID)
+	w.i32(c.EGID)
+	w.i32(c.SGID)
+	w.u32(uint32(len(c.Groups)))
+	for _, g := range c.Groups {
+		w.i32(g)
+	}
+}
+
+func decodeCred(r *rbuf) types.Cred {
+	c := types.Cred{
+		RUID: r.i32(), EUID: r.i32(), SUID: r.i32(),
+		RGID: r.i32(), EGID: r.i32(), SGID: r.i32(),
+	}
+	n := int(r.u32())
+	if r.err != nil || n > len(r.b) {
+		r.fail()
+		return c
+	}
+	for i := 0; i < n; i++ {
+		c.Groups = append(c.Groups, r.i32())
+	}
+	return c
+}
+
+// WriteFile stores the artifact at path.
+func (a *Artifact) WriteFile(path string) error {
+	return os.WriteFile(path, a.Marshal(), 0o644)
+}
+
+// ReadFile loads an artifact from path.
+func ReadFile(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}

@@ -1,0 +1,149 @@
+package replay
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ktrace"
+	"repro/internal/types"
+)
+
+// randomArtifact builds an arbitrary (not necessarily replayable) artifact
+// from a seeded source: the codec must round-trip anything the recorder
+// could produce, not just the happy shapes.
+func randomArtifact(rng *rand.Rand) *Artifact {
+	a := &Artifact{
+		PageSize:   rng.Intn(3) * 4096,
+		Quantum:    rng.Intn(200),
+		KTCap:      1 + rng.Intn(1<<16),
+		NoInit:     rng.Intn(2) == 0,
+		StartClock: rng.Int63n(1000),
+		Steps:      uint64(rng.Intn(10000)),
+	}
+	kinds := []OpKind{OpInstall, OpInstallBSL, OpWriteFile, OpSpawn, OpFaults, OpCtl, OpRFS}
+	randBytes := func(n int) []byte {
+		b := make([]byte, rng.Intn(n))
+		rng.Read(b)
+		if len(b) == 0 {
+			return nil // the codec canonicalizes empty to nil
+		}
+		return b
+	}
+	for i := rng.Intn(8); i > 0; i-- {
+		op := Op{
+			Step: uint64(rng.Intn(1000)),
+			Kind: kinds[rng.Intn(len(kinds))],
+			Path: strings.Repeat("p", rng.Intn(10)),
+			Data: randBytes(64),
+			Resp: randBytes(32),
+			Mode: uint16(rng.Intn(1 << 16)),
+			UID:  rng.Intn(1000) - 1,
+			GID:  rng.Intn(1000) - 1,
+			Pid:  rng.Intn(1 << 15),
+			Cred: types.Cred{RUID: rng.Intn(100), EUID: rng.Intn(100), SUID: rng.Intn(100),
+				RGID: rng.Intn(100), EGID: rng.Intn(100), SGID: rng.Intn(100)},
+		}
+		if rng.Intn(2) == 0 {
+			op.Cred.Groups = []int{rng.Intn(10), rng.Intn(10)}
+		}
+		for j := rng.Intn(3); j > 0; j-- {
+			op.Args = append(op.Args, strings.Repeat("a", rng.Intn(6)))
+		}
+		a.Ops = append(a.Ops, op)
+	}
+	for i := rng.Intn(16); i > 0; i-- {
+		a.Events = append(a.Events, ktrace.Event{
+			Time: rng.Int63n(1 << 30), Pid: int32(rng.Intn(100)), LWP: int32(rng.Intn(4)),
+			Kind: ktrace.Kind(1 + rng.Intn(9)), What: int32(rng.Intn(64)),
+			A: rng.Uint32(), B: rng.Uint32(),
+			Args: [6]uint32{rng.Uint32(), rng.Uint32()},
+		})
+		a.EvSteps = append(a.EvSteps, uint64(rng.Intn(10000)))
+	}
+	a.Stats.Emitted = uint64(len(a.Events))
+	a.Stats.Dropped = uint64(rng.Intn(10))
+	for i := 0; i < 5; i++ {
+		a.Stats.PerSys[rng.Intn(ktrace.MaxSysHist)] = uint64(rng.Intn(100))
+	}
+	a.Table = randBytes(256)
+	return a
+}
+
+// TestArtifactRoundTrip is the codec property test: decode(encode(a)) == a
+// across many random artifacts.
+func TestArtifactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1991))
+	for i := 0; i < 200; i++ {
+		a := randomArtifact(rng)
+		got, err := Unmarshal(a.Marshal())
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, got) {
+			t.Fatalf("iteration %d: round trip mismatch:\n%#v\nvs\n%#v", i, a, got)
+		}
+	}
+}
+
+// TestArtifactRejects pins the error behavior on bad inputs: truncation,
+// corruption and version skew all fail with clear, distinct errors — never
+// a panic, never a silently wrong artifact.
+func TestArtifactRejects(t *testing.T) {
+	good := randomArtifact(rand.New(rand.NewSource(7))).Marshal()
+
+	if _, err := Unmarshal(nil); err != ErrTruncated {
+		t.Errorf("empty input: %v, want ErrTruncated", err)
+	}
+	if _, err := Unmarshal([]byte("NOTANART0000")); err != ErrBadMagic {
+		t.Errorf("bad magic: %v, want ErrBadMagic", err)
+	}
+
+	// Version skew: bump the version word.
+	skew := append([]byte(nil), good...)
+	skew[len(Magic)+3]++
+	if _, err := Unmarshal(skew); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew: %v, want version error", err)
+	}
+
+	// Every proper prefix must be rejected, not misread.
+	for cut := 0; cut < len(good)-1; cut += 7 {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// A section length pointing past the end is corruption, not a crash.
+	bad := append([]byte(nil), good...)
+	// The first section header sits right after magic+version; blow up its
+	// length field.
+	bad[len(Magic)+4+4] = 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("oversized section length accepted")
+	}
+}
+
+// FuzzReplayDecode throws arbitrary bytes at the decoder; it must reject or
+// accept without panicking, and anything accepted must re-encode and
+// re-decode to the same artifact.
+func FuzzReplayDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(randomArtifact(rng).Marshal())
+	f.Add(randomArtifact(rng).Marshal())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(a.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode of accepted artifact failed: %v", err)
+		}
+		if !reflect.DeepEqual(a, again) {
+			t.Fatal("accepted artifact is not canonical")
+		}
+	})
+}

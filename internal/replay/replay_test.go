@@ -1,0 +1,424 @@
+package replay
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/ktrace"
+	"strconv"
+	"strings"
+
+	"repro/internal/procfs2"
+	"repro/internal/rfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// famProg is the family workload: fork twice, one child sleeps and exits,
+// the other dies on a division fault, the parent reaps both — every event
+// kind the trace knows, in one program.
+const famProg = `
+	movi r0, SYS_fork
+	syscall
+	cmpi r0, 0
+	jne parent
+	movi r0, SYS_sleep	; first child naps then exits
+	movi r1, 40
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+parent:
+	movi r0, SYS_fork	; second child crashes
+	syscall
+	cmpi r0, 0
+	jne reap
+	movi r1, 1
+	movi r2, 0
+	div r1, r2
+reap:
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_wait
+	movi r1, 0
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+`
+
+// recordStorm records the canonical soak: two families under an armed
+// fault plan, a control-message kill, and a handful of RFS operations.
+// faultPlan parameterizes the arm so tests can record near-identical runs
+// that differ in exactly one plan ordinal; "PID" in the plan is replaced by
+// the first family's pid, scoping the storm so the second family survives
+// to receive the control message. The second family is spawned twenty
+// passes in so its events land well past the first checkpoint interval —
+// reverse motion toward them has to cross a checkpoint boundary.
+func recordStorm(t *testing.T, faultPlan string) *Artifact {
+	t.Helper()
+	rec := NewRecorder(Options{})
+	if err := rec.Install("/bin/family", famProg, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var procs []*kernel.Proc
+	p0, err := rec.Spawn("/bin/family", []string{"family"}, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs = append(procs, p0)
+	if faultPlan != "" {
+		plan := strings.ReplaceAll(faultPlan, "PID", strconv.Itoa(p0.Pid))
+		if err := rec.ArmFaults(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unconditional passes: Run would stop at the first idle pass even with
+	// the sleeper's timer pending, and the recording needs enough depth for
+	// the checkpoint machinery to matter.
+	for i := 0; i < 20; i++ {
+		rec.Step()
+	}
+	p1, err := rec.Spawn("/bin/family", []string{"family"}, types.UserCred(101, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs = append(procs, p1)
+	for i := 0; i < 3; i++ {
+		rec.Step()
+	}
+
+	// A host-side control op mid-run: post SIGUSR1 at the second family.
+	msg := (&procfs2.CtlBuf{}).Kill(types.SIGUSR1).Bytes()
+	if err := rec.Ctl(p1.Pid, msg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote operations through the RFS server: a stat, a remote write, a
+	// remote read-back.
+	cl := rfs.NewClient(rfs.LocalTransport{S: rec.Server()}, types.RootCred())
+	if _, err := cl.Stat("/bin/family"); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := cl.Open("/tmp/remote", vfs.OWrite|vfs.OCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Write([]byte("written over rfs")); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+	rf, err := cl.Open("/tmp/remote", vfs.ORead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if n, _ := rf.Read(buf); string(buf[:n]) != "written over rfs" {
+		t.Fatalf("rfs read-back: %q", buf[:n])
+	}
+	rf.Close()
+
+	for i, p := range procs {
+		if _, err := rec.WaitExit(p); err != nil {
+			t.Fatalf("family %d stuck: %v", i, err)
+		}
+	}
+	// Drain the sleepers: the 40-tick naps outlive their parents, and only
+	// unconditional stepping rides the clock through an otherwise-idle
+	// system until the timers fire.
+	for i := 0; i < 80; i++ {
+		rec.Step()
+	}
+	art, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Steps == 0 || len(art.Events) < 50 {
+		t.Fatalf("thin recording: %d steps, %d events", art.Steps, len(art.Events))
+	}
+	return art
+}
+
+const stormPlan = "mem.cow nth=1 pid=PID\nkernel.fork nth=2 pid=PID"
+
+// TestRecordReplayBitIdentical is the tentpole end-to-end: record the soak
+// (faults, control ops, RFS traffic), round-trip the artifact through the
+// codec, replay it, and demand the replay verify bit-identical — every
+// event, the counters, the final process table.
+func TestRecordReplayBitIdentical(t *testing.T) {
+	art := recordStorm(t, stormPlan)
+
+	// Through the file, as dbg would load it.
+	path := filepath.Join(t.TempDir(), "storm.rec")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, loaded) {
+		t.Fatal("artifact did not survive the file round trip")
+	}
+
+	rp := NewReplayer(loaded)
+	if err := rp.RunToEnd(); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if rp.Step() != art.Steps {
+		t.Fatalf("replay ended at step %d, want %d", rp.Step(), art.Steps)
+	}
+}
+
+// TestReplayDetectsEventMutation flips one bit of one recorded event and
+// demands the replay report a divergence at exactly that event and step.
+func TestReplayDetectsEventMutation(t *testing.T) {
+	art := recordStorm(t, "")
+	k := len(art.Events) / 2
+	art.Events[k].A ^= 1
+
+	err := NewReplayer(art).RunToEnd()
+	var d *DivergenceError
+	if !errors.As(err, &d) {
+		t.Fatalf("mutated recording replayed clean: %v", err)
+	}
+	if d.EventIndex != k {
+		t.Errorf("divergence at event %d, want %d", d.EventIndex, k)
+	}
+	if d.Step != art.EvSteps[k] {
+		t.Errorf("divergence at step %d, want %d", d.Step, art.EvSteps[k])
+	}
+	if d.Got == d.Want || d.Got == "" {
+		t.Errorf("useless diff: got=%q want=%q", d.Got, d.Want)
+	}
+}
+
+// TestReplayDetectsFaultPlanMutation records the same run under two fault
+// plans differing in one ordinal, splices plan B's arm into plan A's
+// recording, and demands the replay diverge at exactly the first event
+// where the two genuine runs part ways.
+func TestReplayDetectsFaultPlanMutation(t *testing.T) {
+	planA := "kernel.fork nth=2 pid=PID"
+	planB := "kernel.fork nth=3 pid=PID"
+	artA := recordStorm(t, planA)
+	artB := recordStorm(t, planB)
+
+	// The first divergent event between the two genuine runs.
+	want := -1
+	for i := range artA.Events {
+		if i >= len(artB.Events) || artA.Events[i] != artB.Events[i] {
+			want = i
+			break
+		}
+	}
+	if want < 0 {
+		t.Fatal("plans nth=2 and nth=3 produced identical runs; the mutation test needs a real difference")
+	}
+
+	// Splice the mutated ordinal into A's recording. The recorded plan text
+	// already has the pid substituted, so edit it in place rather than
+	// re-substituting from the template.
+	found := false
+	for i := range artA.Ops {
+		if artA.Ops[i].Kind == OpFaults {
+			artA.Ops[i].Data = []byte(strings.ReplaceAll(string(artA.Ops[i].Data), "nth=2", "nth=3"))
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no OpFaults in recording")
+	}
+
+	err := NewReplayer(artA).RunToEnd()
+	var d *DivergenceError
+	if !errors.As(err, &d) {
+		t.Fatalf("mutated fault plan replayed clean: %v", err)
+	}
+	if d.EventIndex != want {
+		t.Errorf("divergence at event %d, want %d", d.EventIndex, want)
+	}
+	if d.Step != artB.EvSteps[want] {
+		t.Errorf("divergence at step %d, want %d (the mutated run follows plan B)", d.Step, artB.EvSteps[want])
+	}
+}
+
+// TestReplayTimeTravel exercises Goto both ways across checkpoint
+// boundaries and re-verifies the end state after wandering.
+func TestReplayTimeTravel(t *testing.T) {
+	art := recordStorm(t, stormPlan)
+	rp := NewReplayer(art, ReplayOptions{CheckpointInterval: 16})
+	if err := rp.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rp.Checkpoints()); n < 3 {
+		t.Fatalf("only %d checkpoints over %d steps at interval 16", n, art.Steps)
+	}
+
+	mid := art.Steps / 2
+	if err := rp.Goto(mid); err != nil {
+		t.Fatalf("goto %d: %v", mid, err)
+	}
+	if rp.Step() != mid {
+		t.Fatalf("at step %d after goto %d", rp.Step(), mid)
+	}
+	// Deep rewind, then all the way forward again.
+	if err := rp.Goto(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Goto(art.Steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.VerifyFinal(); err != nil {
+		t.Fatalf("end state after time travel: %v", err)
+	}
+}
+
+// TestReplaySmoke is the make replay-smoke scenario: record a fault-storm
+// soak, replay it, and reverse-continue to the injected machine fault via
+// nearest-checkpoint restore plus forward re-execution.
+func TestReplaySmoke(t *testing.T) {
+	art := recordStorm(t, stormPlan)
+	rp := NewReplayer(art, ReplayOptions{CheckpointInterval: 16})
+	if err := rp.RunToEnd(); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+
+	sess := NewSession(rp)
+	sess.Breaks = []Breakpoint{{Kind: ktrace.KFault, What: -1}}
+
+	stop, err := sess.ReverseContinue()
+	if err != nil {
+		t.Fatalf("reverse-continue: %v", err)
+	}
+	if stop.EventIndex < 0 || stop.Event.Kind != ktrace.KFault {
+		t.Fatalf("reverse-continue stopped on %v, want a fault event", stop)
+	}
+	if rp.Step() != art.EvSteps[stop.EventIndex] {
+		t.Fatalf("landed at step %d, want the faulting step %d", rp.Step(), art.EvSteps[stop.EventIndex])
+	}
+	faultStep := rp.Step()
+
+	// Reverse-step through the fault neighborhood (clamped at step 0 in
+	// case the fault lands in the first couple of passes).
+	back := uint64(3)
+	if faultStep < back {
+		back = faultStep
+	}
+	for i := uint64(0); i < back; i++ {
+		if err := sess.ReverseStep(); err != nil {
+			t.Fatalf("reverse-step %d: %v", i, err)
+		}
+	}
+	if rp.Step() != faultStep-back {
+		t.Fatalf("reverse-stepped to %d, want %d", rp.Step(), faultStep-back)
+	}
+
+	// Forward continue must land just past the same fault.
+	stop2, err := sess.Continue()
+	if err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	if stop2.EventIndex != stop.EventIndex {
+		t.Fatalf("forward continue found event %d, reverse found %d", stop2.EventIndex, stop.EventIndex)
+	}
+	if rp.Step() != faultStep+1 {
+		t.Fatalf("forward continue stopped at %d, want %d", rp.Step(), faultStep+1)
+	}
+
+	// And the run still verifies after all the travel.
+	if err := rp.Goto(rp.Steps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.VerifyFinal(); err != nil {
+		t.Fatalf("end state after time travel: %v", err)
+	}
+}
+
+// storeProg increments a counter word in .data forever; the watchpoint
+// tests watch that word.
+const storeProg = `
+	la r1, counter
+	movi r2, 0
+loop:	addi r2, 1
+	st r2, [r1]
+	movi r0, SYS_sleep
+	movi r1, 3
+	syscall
+	la r1, counter
+	jmp loop
+.data
+counter:	.word 0
+`
+
+// TestSessionWatchpoint sets a memory watchpoint and drives it in both
+// directions: forward Continue stops on the first change, ReverseContinue
+// finds the last change before the current position.
+func TestSessionWatchpoint(t *testing.T) {
+	rec := NewRecorder(Options{})
+	if err := rec.Install("/bin/store", storeProg, 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	img, err := rec.System().Assemble(storeProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter uint32
+	for _, sym := range img.Syms {
+		if sym.Name == "counter" {
+			counter = sym.Value
+		}
+	}
+	if counter == 0 {
+		t.Fatal("no counter symbol")
+	}
+	p, err := rec.Spawn("/bin/store", []string{"store"}, types.UserCred(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Run(120)
+	msg := (&procfs2.CtlBuf{}).Kill(types.SIGKILL).Bytes()
+	if err := rec.Ctl(p.Pid, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WaitExit(p); err != nil {
+		t.Fatal(err)
+	}
+	art, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp := NewReplayer(art, ReplayOptions{CheckpointInterval: 8})
+	sess := NewSession(rp)
+	sess.Watches = []*Watch{{Pid: p.Pid, Addr: counter, Len: 4}}
+
+	stop, err := sess.Continue()
+	if err != nil {
+		t.Fatalf("continue to watch: %v", err)
+	}
+	if stop.Watch == nil {
+		t.Fatalf("continue stopped without tripping the watch: %v", stop)
+	}
+	firstHit := rp.Step()
+
+	// Run well past more stores, then reverse back to the latest change.
+	for i := 0; i < 30 && rp.Step() < rp.Steps(); i++ {
+		if err := rp.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop2, err := sess.ReverseContinue()
+	if err != nil {
+		t.Fatalf("reverse-continue to watch: %v", err)
+	}
+	if stop2.Watch == nil {
+		t.Fatalf("reverse-continue missed the watch: %v", stop2)
+	}
+	if stop2.Step <= firstHit {
+		t.Fatalf("reverse-continue found step %d, want the latest change after %d", stop2.Step, firstHit)
+	}
+}

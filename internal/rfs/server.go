@@ -25,6 +25,12 @@ type Server struct {
 	// (tests only).
 	MuxFaults *Faults
 
+	// Tap, if set, observes every (request, response) pair after dispatch,
+	// under the server lock. The record/replay subsystem uses it to capture
+	// the remote mutation stream server-side — past the transport, so wire
+	// faults and disconnect storms never corrupt the recorded ops.
+	Tap func(req, resp []byte)
+
 	mu     sync.Mutex
 	nextFD uint32
 	open   map[uint32]*vfs.File
@@ -44,6 +50,56 @@ type noLock struct{}
 
 func (noLock) Lock()   {}
 func (noLock) Unlock() {}
+
+// ServerState is the server's mutable session state — the remote-open fd
+// table — captured for whole-kernel checkpoints. A replayed request stream
+// that opens an fd before a checkpoint and uses it after must find the fd
+// live again when the checkpoint is restored.
+type ServerState struct {
+	nextFD uint32
+	open   map[uint32]*vfs.File
+	creds  map[uint32]types.Cred
+	files  map[*vfs.File]vfs.FileState
+}
+
+// SaveState captures the fd table and each open description's state.
+func (s *Server) SaveState() *ServerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &ServerState{
+		nextFD: s.nextFD,
+		open:   make(map[uint32]*vfs.File, len(s.open)),
+		creds:  make(map[uint32]types.Cred, len(s.creds)),
+		files:  make(map[*vfs.File]vfs.FileState, len(s.open)),
+	}
+	for fd, f := range s.open {
+		st.open[fd] = f
+		st.files[f] = f.SaveState()
+	}
+	for fd, c := range s.creds {
+		st.creds[fd] = c
+	}
+	return st
+}
+
+// LoadState restores a state captured by SaveState; the state remains
+// reusable.
+func (s *Server) LoadState(st *ServerState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextFD = st.nextFD
+	s.open = make(map[uint32]*vfs.File, len(st.open))
+	s.creds = make(map[uint32]types.Cred, len(st.creds))
+	for fd, f := range st.open {
+		s.open[fd] = f
+	}
+	for fd, c := range st.creds {
+		s.creds[fd] = c
+	}
+	for f, fst := range st.files {
+		f.LoadState(fst)
+	}
+}
 
 // Handle processes one request and returns the response, acquiring the
 // server lock around the dispatch.
@@ -76,6 +132,9 @@ func (s *Server) handleLocked(req []byte) []byte {
 	resp.putU32(code)
 	resp.putStr(msg)
 	resp.b = append(resp.b, out.b...)
+	if s.Tap != nil {
+		s.Tap(req, resp.b)
+	}
 	return resp.b
 }
 

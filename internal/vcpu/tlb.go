@@ -65,6 +65,13 @@ func (t *tlb) reset(as *mem.AS) {
 	}
 }
 
+// FlushTLB drops every cached translation and un-keys the TLB; the next
+// access re-keys it against the current address space. Checkpoint restore
+// calls it: cached frames may describe an address space the restore just
+// discarded, and pointer+generation revalidation is not trusted across a
+// rewind.
+func (c *CPU) FlushTLB() { c.tlb = tlb{} }
+
 // tlbFrame returns the direct frame for an access needing permissions want
 // at addr, or nil when the access must take the slow path. write
 // additionally requires a writable (materialized private) frame. On a miss

@@ -384,6 +384,47 @@ func (f *File) Close() error {
 // Closed reports whether Close has been called.
 func (f *File) Closed() bool { return f.closed }
 
+// FileState is the mutable state of one open file description, captured
+// for whole-kernel checkpoints: the shared offset, the closed flag, the
+// extra-reference count from fork/dup sharing, and any handle-private
+// state the handle chose to expose via HandleSnapshotter.
+type FileState struct {
+	Offset int64
+	Closed bool
+	Extra  int
+	Handle any
+}
+
+// HandleSnapshotter is optionally implemented by handles that carry
+// mutable per-open state beyond the File's own fields — a closed flag, a
+// cached snapshot buffer. Handles whose state is fixed at open time (the
+// common case) need not implement it.
+type HandleSnapshotter interface {
+	// HSaveState returns an opaque deep copy of the handle's mutable state.
+	HSaveState() any
+	// HLoadState restores state previously returned by HSaveState.
+	HLoadState(st any)
+}
+
+// SaveState captures the description's mutable state. Checkpoints restore
+// into the same File object (pointer identity is what fork/dup sharing
+// hangs off), so only the mutable fields are recorded.
+func (f *File) SaveState() FileState {
+	st := FileState{Offset: f.Offset, Closed: f.closed, Extra: f.extra}
+	if hs, ok := f.H.(HandleSnapshotter); ok {
+		st.Handle = hs.HSaveState()
+	}
+	return st
+}
+
+// LoadState restores state captured by SaveState into this File.
+func (f *File) LoadState(st FileState) {
+	f.Offset, f.closed, f.extra = st.Offset, st.Closed, st.Extra
+	if hs, ok := f.H.(HandleSnapshotter); ok {
+		hs.HLoadState(st.Handle)
+	}
+}
+
 // Client is a controlling program's view of a name space: a credential plus
 // path-based convenience operations. Debuggers, ps and truss act through a
 // Client exactly as user-level SVR4 programs act through the system call

@@ -1,0 +1,69 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestCloseIdempotent pins the System.Close/Kernel.Shutdown contract: any
+// number of calls, from any number of goroutines, in any order relative to
+// the lazy worker start, shut the kernel down exactly once.
+func TestCloseIdempotent(t *testing.T) {
+	// Deterministic mode: Close is a no-op, repeatedly.
+	det := repro.NewSystem(repro.Options{NCPU: 1})
+	det.Close()
+	det.Close()
+
+	// SMP with workers started: double Close must not double-close the
+	// work channel.
+	s := repro.NewSystem(repro.Options{NCPU: 2})
+	s.Run(20)
+	s.Close()
+	s.Close()
+
+	// SMP before any Step: Shutdown lands before the lazy worker start and
+	// must still win — a later Step must not leak workers.
+	s2 := repro.NewSystem(repro.Options{NCPU: 2})
+	s2.Close()
+	s2.Close()
+
+	// Concurrent Closes race on one kernel.
+	s3 := repro.NewSystem(repro.Options{NCPU: 2})
+	s3.Run(20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s3.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStepAfterShutdownPanics pins the other half of the contract: the
+// kernel is dead after Shutdown, whether or not the workers ever started.
+func TestStepAfterShutdownPanics(t *testing.T) {
+	expectPanic := func(name string, s *repro.System) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Step after Shutdown did not panic", name)
+			}
+		}()
+		s.Step()
+	}
+
+	// Workers never started.
+	s := repro.NewSystem(repro.Options{NCPU: 2})
+	s.Close()
+	expectPanic("before start", s)
+
+	// Workers started, then shut down.
+	s2 := repro.NewSystem(repro.Options{NCPU: 2})
+	s2.Run(20)
+	s2.Close()
+	expectPanic("after start", s2)
+}
