@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7 bench-json-pr8 replay-smoke bench-json-pr9
+.PHONY: build test race vet verify bench bench-smoke bench-json bench-json-smoke fault-smoke bench-json-pr5 workload-smoke bench-json-pr6 verify-smp bench-json-pr7 bench-json-pr8 replay-smoke bench-json-pr9 crash-smoke bench-json-pr10
 
 build:
 	$(GO) build ./...
@@ -115,10 +115,28 @@ replay-smoke:
 bench-json-pr9:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernelStep(Traced|Recorded)$$' -label after -o BENCH_PR9.json
 
+# crash-smoke is the crash-consistency gate: the every-ordinal crash storm
+# and the EIO matrix under the race detector (-short trims the storm to one
+# seed), then one real-binary pass — format a file-backed image, kill it at
+# a seeded write ordinal, and prove fsck mounts it, replays the journal and
+# finds a clean image.
+crash-smoke:
+	$(GO) test -race -short -count=1 -run 'TestCrashStorm|TestCrashDuringCheckpoint|TestEIO' ./internal/blockfs/
+	$(GO) run ./cmd/bfs -img .crash-smoke.img mkfs -blocks 1024
+	$(GO) run ./cmd/bfs -img .crash-smoke.img crash -seed 7 -ops 40
+	$(GO) run ./cmd/bfs -img .crash-smoke.img fsck
+	rm -f .crash-smoke.img
+
+# bench-json-pr10 records the persistent-filesystem benchmarks as
+# BENCH_PR10.json: the journaled write path and the buffer-cache read hit.
+bench-json-pr10:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkBlockFS' -label after -o BENCH_PR10.json
+
 # verify runs the tier-1 gate (build + test) plus the race detector, vet,
 # the fault-matrix smoke, the workload smoke, the SMP race suite, the
-# record/replay smoke, and the benchmark smoke runs.
-verify: build test race vet fault-smoke workload-smoke verify-smp replay-smoke bench-smoke bench-json-smoke
+# record/replay smoke, the crash-consistency smoke, and the benchmark smoke
+# runs.
+verify: build test race vet fault-smoke workload-smoke verify-smp replay-smoke crash-smoke bench-smoke bench-json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -20,7 +20,7 @@ import (
 // deterministic, injecting through a fixed plan must not introduce any
 // divergence — that is what makes a storm failure replayable.
 func TestFaultPlanDeterminism(t *testing.T) {
-	t.Cleanup(fault.Default.Reset)
+	fault.Guard(t)
 	run := func() (trace, stats, faults, ps []byte) {
 		fault.Default.Reset()
 		s := repro.NewSystem(repro.Options{NCPU: 1}) // bit-for-bit replay: pin the deterministic scheduler

@@ -39,8 +39,7 @@ func armFaults(t *testing.T, s *repro.System, text string) {
 // the spawn itself touches memfs and the new address space.
 func faultBoot(t *testing.T, prog string) (*repro.System, *kernel.Proc) {
 	t.Helper()
-	fault.Default.Reset()
-	t.Cleanup(fault.Default.Reset)
+	fault.Guard(t)
 	s := repro.NewSystem()
 	s.K.EnableKTraceAll(1 << 18)
 	if err := s.Install("/bin/victim", prog, 0o755, 0, 0); err != nil {
@@ -159,8 +158,7 @@ func TestFaultMatrixKernelPipe(t *testing.T) {
 }
 
 func TestFaultMatrixKernelExec(t *testing.T) {
-	fault.Default.Reset()
-	t.Cleanup(fault.Default.Reset)
+	fault.Guard(t)
 	s := repro.NewSystem()
 	if err := s.Install("/bin/victim", exitOK, 0o755, 0, 0); err != nil {
 		t.Fatal(err)
@@ -469,8 +467,7 @@ end:	.space 4
 // panic, leak or corrupt — processes may only fail with sane errnos or die
 // by signal.
 func TestFaultStorm(t *testing.T) {
-	fault.Default.Reset()
-	t.Cleanup(fault.Default.Reset)
+	fault.Guard(t)
 	rounds := 3
 	if testing.Short() {
 		rounds = 1

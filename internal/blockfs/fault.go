@@ -1,0 +1,22 @@
+package blockfs
+
+import "repro/internal/fault"
+
+// Fault-injection sites for the persistent file system. As in memfs, the
+// vnode layer has no process context, so hits carry pid 0 and pid-scoped
+// plans never fire here; site-wide plans (nth-hit, every-k, seeded) do.
+//
+// The first four sites inject vfs.ErrIO at the I/O choke points — a cache
+// fill, a dirty write-back, the checkpoint barrier, a journal record — and
+// every consumer transaction rolls back cleanly (the rollback is what the
+// fault matrix in fault_test.go pins). blockfs.crash is different in kind:
+// it does not inject an errno, it kills the whole device (see CrashDev), and
+// its hit ordinal counts device writes — the deterministic clock the
+// crash-recovery storm enumerates.
+var (
+	siteRead    = fault.Register("blockfs.read")    // buffer-cache fills from the device
+	siteWrite   = fault.Register("blockfs.write")   // dirty write-back (eviction, checkpoint flush)
+	siteSync    = fault.Register("blockfs.sync")    // the checkpoint durability barrier
+	siteJournal = fault.Register("blockfs.journal") // journal descriptor/image/commit/header writes
+	siteCrash   = fault.Register("blockfs.crash")   // whole-device power loss (CrashDev)
+)

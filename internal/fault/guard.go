@@ -1,0 +1,31 @@
+package fault
+
+// TB is the sliver of testing.TB that Guard needs; taking an interface keeps
+// the package free of a testing import (it is compiled into the kernel) and
+// lets the guard's own tests drive it with a fake.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...interface{})
+}
+
+// Guard protects a test from fault-plan leakage in both directions: it fails
+// the test immediately if a previous test left any Default-registry site
+// armed, and it registers a cleanup that resets the registry (disarming all
+// sites and zeroing counters) when the test ends — however it ends. Every
+// test that arms a site should start with
+//
+//	fault.Guard(t)
+//
+// so a forgotten Disarm cannot silently inject faults into whichever test
+// happens to run next.
+func Guard(tb TB) {
+	tb.Helper()
+	for _, s := range Default.Sites() {
+		if sp, ok := s.Plan(); ok {
+			tb.Errorf("fault: site %s already armed at test entry (leaked plan %q)", s.Name(), sp.String())
+		}
+	}
+	Default.Reset()
+	tb.Cleanup(Default.Reset)
+}

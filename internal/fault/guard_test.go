@@ -1,0 +1,57 @@
+package fault
+
+import "testing"
+
+// fakeTB records Guard's observable behaviour without failing a real test.
+type fakeTB struct {
+	errs     []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper()                       {}
+func (f *fakeTB) Cleanup(fn func())             { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(string, ...interface{}) { f.errs = append(f.errs, "err") }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// TestGuardDetectsLeakedPlan is the regression test for cross-test plan
+// leakage: a site left armed by a "previous test" must fail the next test at
+// entry, and the guard's cleanup must disarm everything it found.
+func TestGuardDetectsLeakedPlan(t *testing.T) {
+	Guard(t) // the real guard, for this real test
+
+	site := Register("guardtest.leak")
+	site.Arm(Spec{Nth: 1})
+
+	fake := &fakeTB{}
+	Guard(fake)
+	if len(fake.errs) == 0 {
+		t.Fatalf("Guard did not report a leaked armed site")
+	}
+	if Default.AnyArmed() {
+		t.Fatalf("Guard did not reset the leaked plan at entry")
+	}
+
+	// The cleanup must also reset plans armed during the guarded test.
+	site.Arm(Spec{Every: 2})
+	fake.runCleanups()
+	if Default.AnyArmed() {
+		t.Fatalf("Guard cleanup left a site armed")
+	}
+}
+
+// TestGuardCleanOnCleanRegistry: a clean registry passes and stays clean.
+func TestGuardCleanOnCleanRegistry(t *testing.T) {
+	Guard(t)
+	fake := &fakeTB{}
+	Guard(fake)
+	if len(fake.errs) != 0 {
+		t.Fatalf("Guard reported errors on a clean registry: %v", fake.errs)
+	}
+	if len(fake.cleanups) != 1 {
+		t.Fatalf("Guard registered %d cleanups, want 1", len(fake.cleanups))
+	}
+}

@@ -84,6 +84,7 @@ const (
 	SysPause     = 29
 	SysAccess    = 33
 	SysNice      = 34
+	SysSync      = 36
 	SysKill      = 37
 	SysDup       = 41
 	SysPipe      = 42
@@ -104,6 +105,7 @@ const (
 	SysMmap      = 115
 	SysMprotect  = 116
 	SysMunmap    = 117
+	SysFsync     = 118
 	SysLwpCreate = 170
 	SysLwpExit   = 171
 	SysLwpSelf   = 172
@@ -209,6 +211,8 @@ func init() {
 	sysTable[SysUnlink] = sysent{"unlink", 1, sysUnlink}
 	sysTable[SysExec] = sysent{"exec", 1, sysExec}
 	sysTable[SysChdir] = sysent{"chdir", 1, sysChdir}
+	sysTable[SysSync] = sysent{"sync", 0, sysSync}
+	sysTable[SysFsync] = sysent{"fsync", 1, sysFsync}
 	sysTable[SysTime] = sysent{"time", 0, sysTime}
 	sysTable[SysChmod] = sysent{"chmod", 2, sysChmod}
 	sysTable[SysBrk] = sysent{"brk", 1, sysBrk}

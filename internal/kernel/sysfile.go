@@ -270,6 +270,32 @@ func sysUnlink(k *Kernel, l *LWP) sysResult {
 	return ret(0)
 }
 
+// sysSync flushes every mounted file system with delayed writes; like the
+// historical sync(2) it reports the first failure but attempts them all.
+func sysSync(k *Kernel, l *LWP) sysResult {
+	if err := k.NS.SyncAll(); err != nil {
+		return rerr(mapErr(err))
+	}
+	return ret(0)
+}
+
+// sysFsync flushes the file system behind one descriptor. Handles of
+// in-memory types don't implement the hook and succeed trivially — their
+// writes were never delayed.
+func sysFsync(k *Kernel, l *LWP) sysResult {
+	p := l.Proc
+	f, e := p.getFD(int(l.sysArgs[0]))
+	if e != 0 {
+		return rerr(e)
+	}
+	if s, ok := f.H.(interface{ HSync() error }); ok {
+		if err := s.HSync(); err != nil {
+			return rerr(mapErr(err))
+		}
+	}
+	return ret(0)
+}
+
 func sysChdir(k *Kernel, l *LWP) sysResult {
 	p := l.Proc
 	path, e := k.copyinStr(l, l.sysArgs[0])

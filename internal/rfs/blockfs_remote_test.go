@@ -1,0 +1,51 @@
+package rfs_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/rfs"
+	"repro/internal/types"
+	"repro/internal/vfs"
+)
+
+// End-to-end proof for the codec-level round-trip test: a blockfs failure on
+// the remote machine crosses the RFS wire and still answers errors.Is on the
+// client side — EIO from an injected journal fault, ENOSPC from a genuinely
+// full disk.
+func TestRemoteBlockFSErrorsCrossTheWire(t *testing.T) {
+	fault.Guard(t)
+	s := repro.NewSystem(repro.Options{DiskBlocks: 256})
+	defer s.Close()
+	srv := rfs.NewServer(s.NS, nil)
+	cl := rfs.NewClient(rfs.LocalTransport{S: srv}, types.RootCred())
+
+	// EIO: every journal write on the remote side fails, so the remote
+	// create's transaction rolls back and the client must see ErrIO itself,
+	// not a stringly errOther.
+	fault.Default.Lookup("blockfs.journal").Arm(fault.Spec{Every: 1})
+	_, err := cl.Open("/disk/f", vfs.OWrite|vfs.OCreat)
+	fault.Default.Lookup("blockfs.journal").Disarm()
+	if !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("remote create under journal fault: %v, want errors.Is ErrIO", err)
+	}
+
+	// ENOSPC: overfill the small remote disk.
+	f, err := cl.Open("/disk/big", vfs.OWrite|vfs.OCreat)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	chunk := make([]byte, 32*1024)
+	var werr error
+	for off := int64(0); off < 1<<20; off += int64(len(chunk)) {
+		if _, werr = f.Pwrite(chunk, off); werr != nil {
+			break
+		}
+	}
+	if !errors.Is(werr, vfs.ErrNoSpace) {
+		t.Fatalf("overfilling remote disk: %v, want errors.Is ErrNoSpace", werr)
+	}
+}

@@ -53,6 +53,12 @@ const (
 	errNoIoctl
 	errEOF
 	errOther
+	// Appended after errOther so existing code assignments stay wire-stable:
+	// EIO and ENOSPC must survive the codec as errors.Is identities (a remote
+	// client distinguishes a full file system from a broken one), not decay
+	// to errOther's opaque message.
+	errIO
+	errNoSpace
 )
 
 // wireErrs maps the vfs sentinel errors to their wire codes, in match order.
@@ -72,6 +78,8 @@ var wireErrs = []struct {
 	{errAgain, vfs.ErrAgain},
 	{errNoIoctl, vfs.ErrNoIoctl},
 	{errEOF, vfs.EOF},
+	{errIO, vfs.ErrIO},
+	{errNoSpace, vfs.ErrNoSpace},
 }
 
 func encodeErr(err error) (uint32, string) {
@@ -117,6 +125,10 @@ func decodeErr(code uint32, msg string) error {
 		return vfs.ErrNoIoctl
 	case errEOF:
 		return vfs.EOF
+	case errIO:
+		return vfs.ErrIO
+	case errNoSpace:
+		return vfs.ErrNoSpace
 	}
 	if msg == "" {
 		msg = "remote error"

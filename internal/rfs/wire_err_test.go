@@ -1,0 +1,53 @@
+package rfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// The I/O-failure sentinels must survive the wire as errors.Is identities in
+// both directions: server-side encode of a (possibly wrapped) sentinel to a
+// dedicated code, client-side decode back to the identical sentinel — and a
+// decoded error must re-encode to the same code, so a proxied mount (client
+// relaying a remote error back out through its own server) cannot decay EIO
+// or ENOSPC into errOther's opaque message.
+func TestErrIOAndNoSpaceWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		sentinel error
+		code     uint32
+	}{
+		{vfs.ErrIO, errIO},
+		{vfs.ErrNoSpace, errNoSpace},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sentinel.Error(), func(t *testing.T) {
+			// Server -> wire: the bare sentinel and a wrapped one encode to
+			// the dedicated code with no message payload.
+			for _, err := range []error{tc.sentinel, fmt.Errorf("blockfs: flush failed: %w", tc.sentinel)} {
+				code, msg := encodeErr(err)
+				if code != tc.code || msg != "" {
+					t.Fatalf("encodeErr(%v) = (%d, %q), want (%d, \"\")", err, code, msg, tc.code)
+				}
+			}
+			// Wire -> client: the decoded error is the sentinel identity.
+			dec := decodeErr(tc.code, "")
+			if !errors.Is(dec, tc.sentinel) {
+				t.Fatalf("decodeErr(%d) = %v, not errors.Is %v", tc.code, dec, tc.sentinel)
+			}
+			// Client -> wire again: re-encoding the decoded error (as a
+			// relaying server would) preserves the code.
+			code, _ := encodeErr(dec)
+			if code != tc.code {
+				t.Fatalf("re-encode of decoded error = %d, want %d", code, tc.code)
+			}
+			// And neither decays to errOther when wrapped client-side.
+			code, _ = encodeErr(fmt.Errorf("relay: %w", dec))
+			if code != tc.code {
+				t.Fatalf("re-encode of wrapped decoded error = %d, want %d", code, tc.code)
+			}
+		})
+	}
+}

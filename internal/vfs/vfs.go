@@ -14,6 +14,7 @@ package vfs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/types"
@@ -74,20 +75,36 @@ const (
 
 // Common error values, the moral equivalents of the UNIX errnos.
 var (
-	ErrNotExist  = errors.New("no such file or directory")          // ENOENT
-	ErrPerm      = errors.New("permission denied")                  // EACCES
-	ErrNotDir    = errors.New("not a directory")                    // ENOTDIR
-	ErrIsDir     = errors.New("is a directory")                     // EISDIR
-	ErrExist     = errors.New("file exists")                        // EEXIST
-	ErrBusy      = errors.New("device busy")                        // EBUSY
-	ErrInval     = errors.New("invalid argument")                   // EINVAL
-	ErrNotSup    = errors.New("operation not supported by fs type") // ENOSYS
-	ErrBadFD     = errors.New("bad file descriptor")                // EBADF
-	ErrAgain     = errors.New("resource temporarily unavailable")   // EAGAIN
-	ErrNoIoctl   = errors.New("inappropriate ioctl for device")     // ENOTTY
-	ErrIO        = errors.New("I/O error")                          // EIO
-	ErrNoSpace   = errors.New("no space left on device")            // ENOSPC
-	ErrStale     = errors.New("stale /proc file descriptor")        // the set-id invalidation
+	ErrNotExist = errors.New("no such file or directory")          // ENOENT
+	ErrPerm     = errors.New("permission denied")                  // EACCES
+	ErrNotDir   = errors.New("not a directory")                    // ENOTDIR
+	ErrIsDir    = errors.New("is a directory")                     // EISDIR
+	ErrExist    = errors.New("file exists")                        // EEXIST
+	ErrBusy     = errors.New("device busy")                        // EBUSY
+	ErrInval    = errors.New("invalid argument")                   // EINVAL
+	ErrNotSup   = errors.New("operation not supported by fs type") // ENOSYS
+	ErrBadFD    = errors.New("bad file descriptor")                // EBADF
+	ErrAgain    = errors.New("resource temporarily unavailable")   // EAGAIN
+	ErrNoIoctl  = errors.New("inappropriate ioctl for device")     // ENOTTY
+
+	// ErrIO (EIO) reports that a device operation failed underneath the
+	// file system — a buffer-cache fill, a write-back, a journal record.
+	// File system types must return the sentinel itself (or wrap it with
+	// %w) rather than a private error: the kernel's errno mapping, the
+	// fault-storm matchers, and the rfs wire codec all branch on it with
+	// errors.Is, and the rfs protocol carries it as a dedicated code so the
+	// identity survives a round trip through a remote mount.
+	ErrIO = errors.New("I/O error") // EIO
+
+	// ErrNoSpace (ENOSPC) reports resource exhaustion inside a file system
+	// type: no free inode, no free block, a file at its maximum size, or an
+	// injected allocation failure (memfs.create, blockfs zone allocation).
+	// Like ErrIO it is an errors.Is identity preserved across the rfs wire
+	// codec in both directions, so a remote client can distinguish a full
+	// file system from a broken one.
+	ErrNoSpace = errors.New("no space left on device") // ENOSPC
+
+	ErrStale     = errors.New("stale /proc file descriptor") // the set-id invalidation
 	ErrWouldDead = errors.New("poll would deadlock: nothing runnable")
 )
 
@@ -186,6 +203,34 @@ func (ns *NS) Mount(path string, root Vnode) error {
 	}
 	ns.mounts[clean] = root
 	return nil
+}
+
+// Syncer is implemented by the root vnode of file system types with delayed
+// writes: VSync flushes everything the type has buffered to stable storage.
+// In-memory types (memfs, /proc) simply don't implement it.
+type Syncer interface {
+	VSync() error
+}
+
+// SyncAll flushes every mounted file system that supports it, in mount-path
+// order (sorted, so the device-write sequence is deterministic). All mounts
+// are attempted even after a failure; the first error is returned — the
+// sync(2) contract of scheduling everything and reporting what broke.
+func (ns *NS) SyncAll() error {
+	paths := make([]string, 0, len(ns.mounts))
+	for p := range ns.mounts {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var first error
+	for _, p := range paths {
+		if s, ok := ns.mounts[p].(Syncer); ok {
+			if err := s.VSync(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Clean normalizes a path: absolute, no trailing slash, no empty components.

@@ -109,6 +109,105 @@ buf:	.space 8
 `, delay)
 }
 
+// progChurn mills one file on the persistent disk: creat, a burst of writes,
+// fsync (a blockfs checkpoint), close, unlink — rounds times over — then a
+// final sync(2) and exit. Each churner gets its own path so the logical
+// workloads are independent while the file system underneath is shared.
+func progChurn(id, rounds, writes int) string {
+	return fmt.Sprintf(`
+	movi r6, 0
+loop:	movi r0, SYS_creat
+	la r1, path
+	movi r2, 420		; 0644
+	syscall
+	mov r7, r0		; the churn fd
+	movi r4, 0
+wr:	movi r0, SYS_write
+	mov r1, r7
+	la r2, data
+	movi r3, 512
+	syscall
+	addi r4, 1
+	cmpi r4, %d
+	jne wr
+	movi r0, SYS_fsync
+	mov r1, r7
+	syscall
+	movi r0, SYS_close
+	mov r1, r7
+	syscall
+	movi r0, SYS_unlink
+	la r1, path
+	syscall
+	addi r6, 1
+	cmpi r6, %d
+	jne loop
+	movi r0, SYS_sync
+	syscall
+	movi r0, SYS_exit
+	movi r1, 0
+	syscall
+.data
+path:	.asciz "/disk/churn%d"
+data:	.space 512
+`, writes, rounds, id)
+}
+
+// runFSChurn measures the persistent-filesystem path from inside the
+// simulation: a fleet of processes each milling creat/write/fsync/unlink on
+// its own /disk file. One operation is one scheduler pass, so the samples
+// capture the mill's full mix (journal commits, checkpoint flushes, block
+// allocation and free). After the fleet drains, the disk must be empty and
+// structurally clean.
+func runFSChurn(s *repro.System, cfg Config, h *hist) error {
+	rng := cfg.rng()
+	procs := orDefault(cfg.Procs, 4)
+	rounds := orDefault(cfg.Ops, 6)
+	if s.Disk == nil {
+		return fmt.Errorf("fs_churn: system booted without a disk")
+	}
+	fleet := make([]*kernel.Proc, 0, procs)
+	for i := 0; i < procs; i++ {
+		path := fmt.Sprintf("/bin/churn%d", i)
+		writes := 2 + rng.Intn(6)
+		if err := s.Install(path, progChurn(i, rounds, writes), 0o755, 0, 0); err != nil {
+			return err
+		}
+		p, err := s.Spawn(path, []string{fmt.Sprintf("churn%d", i)}, types.UserCred(100+i%8, 10))
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, p)
+	}
+	alive := func() bool {
+		for _, p := range fleet {
+			if p.Alive() {
+				return true
+			}
+		}
+		return false
+	}
+	for passes := 0; alive(); passes++ {
+		if passes > 4_000_000 {
+			return fmt.Errorf("fs_churn: fleet did not drain")
+		}
+		h.op(func() { s.Step() })
+	}
+	// Every churner unlinked its file, so the disk must come back empty —
+	// and the image must pass the structural checker.
+	ents, err := s.Client(types.RootCred()).ReadDir("/disk")
+	if err != nil {
+		return err
+	}
+	if len(ents) != 0 {
+		return fmt.Errorf("fs_churn: %d files left on /disk after drain", len(ents))
+	}
+	if bad := s.Disk.Fsck(); len(bad) != 0 {
+		return fmt.Errorf("fs_churn: fsck reported %d violations: %v", len(bad), bad)
+	}
+	return nil
+}
+
 // runForkStorm measures process creation and reaping: one operation spawns
 // a forker (family size chosen by the seeded stream) and runs its whole
 // family to completion.

@@ -55,15 +55,19 @@ type Scenario struct {
 	Name string
 	Desc string
 	run  func(s *repro.System, cfg Config, h *hist) error
+	// disk, when nonzero, boots the system with a persistent blockfs of
+	// that many blocks at /disk.
+	disk int
 }
 
 // scenarios is the registry, in presentation order.
 var scenarios = []Scenario{
-	{"fork_storm", "process creation/reaping churn: spawn a forker, run its family to completion", runForkStorm},
-	{"syscall_mill", "a fleet of processes grinding getpid; one op is one scheduler pass", runSyscallMill},
-	{"pipe_pipeline", "fork + pipe transfer with blocking reads, run to completion", runPipePipeline},
-	{"debugger_fleet", "attach/detach churn: open, stop, read registers, run, close", runDebuggerFleet},
-	{"proc_scan", "mixed ps/usage sweeps of /proc over a large live population", runProcScan},
+	{"fork_storm", "process creation/reaping churn: spawn a forker, run its family to completion", runForkStorm, 0},
+	{"syscall_mill", "a fleet of processes grinding getpid; one op is one scheduler pass", runSyscallMill, 0},
+	{"pipe_pipeline", "fork + pipe transfer with blocking reads, run to completion", runPipePipeline, 0},
+	{"debugger_fleet", "attach/detach churn: open, stop, read registers, run, close", runDebuggerFleet, 0},
+	{"proc_scan", "mixed ps/usage sweeps of /proc over a large live population", runProcScan, 0},
+	{"fs_churn", "create/write/fsync/unlink mill on the persistent /disk; one op is one scheduler pass", runFSChurn, 2048},
 }
 
 // Names lists the registered scenarios in order.
@@ -93,7 +97,7 @@ func Run(name string, cfg Config) (Result, *repro.System, error) {
 	if !ok {
 		return Result{}, nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
 	}
-	s := repro.NewSystem(repro.Options{NCPU: cfg.NCPU})
+	s := repro.NewSystem(repro.Options{NCPU: cfg.NCPU, DiskBlocks: sc.disk})
 	if cfg.TraceCap > 0 {
 		s.K.EnableKTraceAll(cfg.TraceCap)
 	}

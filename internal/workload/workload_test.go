@@ -23,6 +23,9 @@ func smokeConfig(name string) Config {
 	case "proc_scan":
 		cfg.Procs = 30
 		cfg.Ops = 4
+	case "fs_churn":
+		cfg.Procs = 3
+		cfg.Ops = 3
 	}
 	return cfg
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/blockfs"
 	"repro/internal/bsl"
 	"repro/internal/kernel"
 	"repro/internal/memfs"
@@ -42,6 +43,9 @@ type System struct {
 	NS    *vfs.NS     // the name space with /proc mounted
 	Proc  *procfs.FS  // the flat SVR4 /proc (mounted at /proc)
 	Proc2 *procfs2.FS // the proposed hierarchical /proc (mounted at /procx)
+	Disk  *blockfs.FS // the persistent file system (mounted at /disk when configured)
+
+	diskDev blockfs.Dev
 }
 
 // InitProgram is the program run as process 1: it idles in pause(2) forever;
@@ -63,6 +67,12 @@ type Options struct {
 	// per-CPU run queues. 1 pins deterministic mode even when REPRO_NCPU
 	// is set in the environment.
 	NCPU int
+	// DiskBlocks, when nonzero, attaches a persistent blockfs of that many
+	// BlockSize blocks at /disk — an in-memory image, or a raw image file
+	// when DiskImage names a host path (created and formatted if missing,
+	// remounted with journal replay if present).
+	DiskBlocks int
+	DiskImage  string
 }
 
 // NewSystem boots a machine: a memfs root with the conventional directories,
@@ -92,6 +102,12 @@ func NewSystem(opts ...Options) *System {
 	ns.Mount("/proc", s.Proc.Root())
 	s.Proc2 = procfs2.New(k)
 	ns.Mount("/procx", s.Proc2.Root())
+
+	if o.DiskBlocks > 0 || o.DiskImage != "" {
+		if err := s.attachDisk(o); err != nil {
+			panic(fmt.Sprintf("repro: cannot attach disk: %v", err))
+		}
+	}
 
 	if !o.NoInit {
 		if err := s.Install("/etc/init", InitProgram, 0o755, 0, 0); err != nil {
@@ -176,9 +192,55 @@ func (s *System) WaitExit(p *kernel.Proc) (int, error) {
 // anything ran; handy as the step function for vfs.Poll.
 func (s *System) Step() bool { return s.K.Step() }
 
+// attachDisk creates or opens the block device behind /disk, formats a
+// fresh image, and mounts it (replaying the journal — the recovery path
+// after an unclean shutdown of a file-backed image).
+func (s *System) attachDisk(o Options) error {
+	var dev blockfs.Dev
+	if o.DiskImage != "" {
+		fd, err := blockfs.OpenFileDev(o.DiskImage, uint32(o.DiskBlocks))
+		if err != nil {
+			return err
+		}
+		dev = fd
+	} else {
+		dev = blockfs.NewMemDev(uint32(o.DiskBlocks))
+	}
+	// A device whose block 0 is not a superblock is fresh: format it. A
+	// device that has one but fails to mount is corrupt — that error
+	// propagates rather than silently reformatting someone's data.
+	formatted, err := blockfs.IsFormatted(dev)
+	if err != nil {
+		return err
+	}
+	if !formatted {
+		if err := blockfs.Mkfs(dev, 0); err != nil {
+			return err
+		}
+	}
+	bfs, err := blockfs.Mount(dev, blockfs.MountOptions{Now: s.K.Now})
+	if err != nil {
+		return err
+	}
+	if err := s.NS.Mount("/disk", bfs.Root()); err != nil {
+		return err
+	}
+	s.FS.MkdirAll("/disk", 0o755)
+	s.Disk, s.diskDev = bfs, dev
+	return nil
+}
+
 // Close retires the system's scheduler resources: with NCPU > 1 it stops
 // the persistent per-CPU worker goroutines (after which Step must not be
 // called); in deterministic mode it is a no-op. Callers that boot many SMP
 // systems (tests, benchmarks) must Close each one or the workers
-// accumulate.
-func (s *System) Close() { s.K.Shutdown() }
+// accumulate. A configured disk is checkpointed and closed, so a
+// file-backed image remounts clean.
+func (s *System) Close() {
+	if s.Disk != nil {
+		s.Disk.Sync()
+		s.diskDev.Close()
+		s.Disk, s.diskDev = nil, nil
+	}
+	s.K.Shutdown()
+}
